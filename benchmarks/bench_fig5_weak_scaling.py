@@ -1,0 +1,59 @@
+"""Fig. 5 — weak scaling of triangle counting on R-MAT graphs.
+
+The paper uses one scale-24 R-MAT per compute node (scale 24 on 1 node up to
+scale 32 on 256 nodes) and plots the per-node work rate |W+| / (N * t).  The
+stand-in uses a laptop-sized base scale with the same "one scale step per
+node doubling" rule.
+
+Expected shape (paper): the work rate per node decreases slowly as the node
+count grows, because each rank has progressively fewer opportunities to
+aggregate messages destined for the same target vertex.
+"""
+
+from __future__ import annotations
+
+from _artifacts import emit
+from repro.bench import format_table, human_bytes, weak_scaling_rmat
+
+BASE_SCALE = 10
+EDGE_FACTOR = 8
+
+
+def test_fig5_weak_scaling_rmat(benchmark, weak_scaling_nodes):
+    result = benchmark.pedantic(
+        lambda: weak_scaling_rmat(
+            weak_scaling_nodes,
+            scale_per_node=BASE_SCALE,
+            edge_factor=EDGE_FACTOR,
+            algorithm="push_pull",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for point in result.points:
+        rows.append(
+            {
+                "nodes": point.nodes,
+                "rmat scale": BASE_SCALE + max(0, point.nodes - 1).bit_length(),
+                "|W+|": point.wedges,
+                "sim seconds": point.simulated_seconds,
+                "work rate |W+|/(N*t)": f"{point.work_rate:,.0f}",
+                "comm": human_bytes(point.report.communication_bytes),
+            }
+        )
+    emit(format_table(rows, title="Fig. 5 — weak scaling on R-MAT (Push-Pull)"))
+
+    rates = result.work_rates()
+    benchmark.extra_info.update(
+        {
+            "nodes": result.node_counts(),
+            "wedges": [p.wedges for p in result.points],
+            "work_rates": rates,
+        }
+    )
+
+    # Work per node per second should not *improve* as the world grows (the
+    # paper observes a steady decline); allow a little noise.
+    assert rates[-1] < rates[0] * 1.25

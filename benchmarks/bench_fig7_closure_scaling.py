@@ -1,0 +1,81 @@
+"""Fig. 7 + Table 3 — strong scaling of the closure-time survey; pulls per rank.
+
+The paper scales the Reddit closure-time collection from 16 to 256 nodes,
+reports the dry-run / push / pull phase breakdown (Fig. 7) and the average
+number of adjacency lists pulled per rank (Table 3).
+
+Expected shape (paper): the survey keeps scaling to the largest node counts;
+the breakdown shifts from pull-heavy at small node counts to almost entirely
+push-based at large ones, and the average pulls per rank decreases
+monotonically (861K -> 42.2K over 16 -> 256 nodes in the paper).
+"""
+
+from __future__ import annotations
+
+from _artifacts import emit
+from repro.bench import format_table, human_bytes, load_dataset, strong_scaling
+from repro.core import ClosureTimeSurvey
+
+NODE_COUNTS = [4, 16, 64]
+PAPER_PULLS_PER_RANK = {16: 861_000, 32: 466_000, 64: 228_000, 128: 101_000, 256: 42_200}
+
+
+def closure_callback_factory(world, graph):
+    survey = ClosureTimeSurvey(world)
+    return survey.callback, survey.finalize
+
+
+def test_fig7_table3_closure_time_scaling(benchmark):
+    dataset = load_dataset("reddit-like")
+
+    result = benchmark.pedantic(
+        lambda: strong_scaling(
+            dataset, NODE_COUNTS, algorithm="push_pull",
+            callback_factory=closure_callback_factory,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    speedups = result.speedups()
+    rows = []
+    for point, speedup in zip(result.points, speedups):
+        breakdown = point.report.phase_breakdown()
+        rows.append(
+            {
+                "nodes": point.nodes,
+                "dry_run (s)": breakdown.get("dry_run", 0.0),
+                "push (s)": breakdown.get("push", 0.0),
+                "pull (s)": breakdown.get("pull", 0.0),
+                "total (s)": point.simulated_seconds,
+                "speedup": round(speedup, 2),
+                "comm": human_bytes(point.report.communication_bytes),
+            }
+        )
+    emit(format_table(rows, title="Fig. 7 — strong scaling of the closure-time survey (Push-Pull)"))
+
+    table3 = [
+        {
+            "nodes": point.nodes,
+            "avg pulls per rank (measured)": round(point.report.pulls_per_rank, 1),
+            "paper (16..256 nodes)": PAPER_PULLS_PER_RANK.get(
+                {4: 16, 16: 64, 64: 256}.get(point.nodes, point.nodes)
+            ),
+        }
+        for point in result.points
+    ]
+    emit(format_table(table3, title="Table 3 — average adjacency lists pulled per rank"))
+
+    pulls = result.pulls_per_rank()
+    benchmark.extra_info.update(
+        {
+            "nodes": result.node_counts(),
+            "pulls_per_rank": pulls,
+            "simulated_seconds": [p.simulated_seconds for p in result.points],
+        }
+    )
+
+    # Table 3 shape: pulls per rank decrease monotonically with node count.
+    assert all(earlier >= later for earlier, later in zip(pulls, pulls[1:]))
+    # The survey still benefits from more nodes somewhere in the sweep.
+    assert max(speedups) > 1.0

@@ -1,0 +1,85 @@
+"""Table 2 — end-to-end runtime comparison against prior triangle counters.
+
+The paper compares TriPoll against Pearce et al., Tom & Karypis and TriC on
+LiveJournal, Friendster, Twitter and Web Data Commons 2012 using 1024 cores
+(64 nodes).  Here every system runs on the same simulated 16-rank world over
+the stand-in datasets, so the comparison isolates the algorithms'
+communication patterns.
+
+Expected shape (paper):
+
+* TriPoll beats the Pearce-style per-wedge-query baseline everywhere
+  (1.1x on LiveJournal up to ~6.8x on Twitter);
+* the Tom & Karypis 2D algorithm has the best raw throughput on the
+  mid-sized social graphs;
+* TriC is one to two orders of magnitude slower and the heaviest
+  communicator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _artifacts import emit
+from repro.bench import compare_systems, format_table, human_bytes, load_dataset
+
+DATASET_NAMES = ["livejournal-like", "friendster-like", "twitter-like", "wdc2012-like"]
+PAPER_RUNTIMES = {
+    # seconds, from Table 2 of the paper (1024 cores; * = 256 nodes x 4 ranks)
+    "livejournal-like": {"tripoll": 1.01, "pearce": 1.08, "tom2d": 1.45, "tric": 74.4},
+    "friendster-like": {"tripoll": 38.62, "pearce": 69.79, "tom2d": 23.78, "tric": 333.0},
+    "twitter-like": {"tripoll": 28.96, "pearce": 196.10, "tom2d": 16.43, "tric": None},
+    "wdc2012-like": {"tripoll": 456.7, "pearce": 808.7, "tom2d": None, "tric": None},
+}
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_table2_system_comparison(benchmark, name, comparison_nodes):
+    dataset = load_dataset(name)
+
+    result = benchmark.pedantic(
+        lambda: compare_systems(dataset, nodes=comparison_nodes),
+        rounds=1,
+        iterations=1,
+    )
+
+    paper = PAPER_RUNTIMES[name]
+    rows = []
+    for entry in result.systems:
+        paper_key = "tripoll" if entry.system.startswith("tripoll") else entry.system
+        rows.append(
+            {
+                "system": entry.system,
+                "triangles": entry.triangles,
+                "sim seconds": entry.simulated_seconds,
+                "comm": human_bytes(entry.report.communication_bytes) if entry.report else "-",
+                "paper seconds": paper.get(paper_key),
+                "note": entry.skipped or "",
+            }
+        )
+    emit(format_table(rows, title=f"Table 2 — system comparison on {name} ({comparison_nodes} nodes)"))
+
+    by_system = result.by_system()
+    benchmark.extra_info.update(
+        {
+            "dataset": name,
+            "nodes": comparison_nodes,
+            "sim_seconds": {
+                entry.system: entry.simulated_seconds for entry in result.systems if entry.report
+            },
+        }
+    )
+
+    # Correctness: every system that ran agrees on the count.
+    assert result.agreeing_triangle_count() is not None
+
+    # Shape: TriPoll (best variant) beats the Pearce-style baseline, and the
+    # TriC-style baseline is the slowest of the systems that ran.
+    tripoll_best = min(
+        by_system["tripoll_push_pull"].simulated_seconds,
+        by_system["tripoll_push"].simulated_seconds,
+    )
+    assert tripoll_best < by_system["pearce"].simulated_seconds
+    ran = [e for e in result.systems if e.report is not None]
+    slowest = max(ran, key=lambda e: e.simulated_seconds)
+    assert slowest.system == "tric"

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: count triangles in an R-MAT graph with TriPoll.
+
+This is the smallest end-to-end use of the library:
+
+1. create a simulated world (the stand-in for an MPI job),
+2. generate a graph and distribute it over the world's ranks,
+3. build the degree-ordered directed graph (DODGr),
+4. run a triangle survey whose callback just increments a counter
+   (Algorithm 2 of the paper),
+5. read the telemetry the framework reports (simulated runtime,
+   communication volume, phase breakdown).
+
+Run with::
+
+    python examples/quickstart.py [nranks] [rmat_scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DODGraph, TriangleCounter, World, rmat, triangle_survey
+from repro.bench import format_kv, human_bytes
+from repro.graph import serial_triangle_count
+
+
+def main(nranks: int = 8, scale: int = 11) -> None:
+    print(f"== TriPoll quickstart: R-MAT scale {scale} on {nranks} simulated ranks ==\n")
+
+    # 1. The simulated "cluster".
+    world = World(nranks)
+
+    # 2. Generate and distribute the input graph.
+    generated = rmat(scale, edge_factor=8, seed=1)
+    graph = generated.to_distributed(world)
+    print(
+        f"graph: {graph.num_vertices():,} vertices, "
+        f"{graph.num_undirected_edges():,} undirected edges"
+    )
+
+    # 3. Degree-ordered directed graph (the structure every survey runs on).
+    dodgr = DODGraph.build(graph)
+    print(f"DODGr: {dodgr.num_directed_edges():,} directed edges, |W+| = {dodgr.wedge_count():,}\n")
+
+    # 4. Survey: the callback receives every triangle's metadata; here we only count.
+    counter = TriangleCounter(world)
+    report = triangle_survey(dodgr, counter.callback, algorithm="push_pull")
+
+    # 5. Results + telemetry.
+    print(format_kv(
+        {
+            "triangles (callback)": counter.result(),
+            "triangles (serial oracle)": serial_triangle_count(generated.edges),
+            "wedge checks": report.wedge_checks,
+            "simulated runtime": f"{report.simulated_seconds * 1e3:.2f} ms",
+            "communication volume": human_bytes(report.communication_bytes),
+            "adjacency lists pulled": report.vertices_pulled,
+        },
+        title="survey results",
+    ))
+    print()
+    print(format_kv(
+        {phase: f"{seconds * 1e3:.2f} ms" for phase, seconds in report.phase_breakdown().items()},
+        title="simulated phase breakdown",
+    ))
+
+
+if __name__ == "__main__":
+    nranks = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    scale = int(sys.argv[2]) if len(sys.argv) > 2 else 11
+    main(nranks, scale)

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so the package can be installed in fully offline environments where the
+``wheel`` package (required for PEP 660 editable installs) is unavailable:
+``pip install -e . --no-use-pep517 --no-build-isolation`` falls back to the
+legacy ``setup.py develop`` path, which needs this shim.
+"""
+
+from setuptools import setup
+
+setup()

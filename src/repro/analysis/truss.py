@@ -1,0 +1,148 @@
+"""k-truss decomposition driven by TriPoll edge-support surveys.
+
+The paper lists truss decomposition [Cohen 2008] as one of the applications
+whose callbacks "merely increment local counters": the k-truss of a graph is
+its maximal subgraph in which every edge participates in at least ``k - 2``
+triangles *within the subgraph*.  Computing the full decomposition (the
+trussness of every edge) requires iterative peeling: repeatedly remove the
+edge with the lowest remaining support and decrement the support of the edges
+it formed triangles with.
+
+This module runs the distributed support survey
+(:class:`~repro.core.callbacks.EdgeSupportCounter`) to obtain the initial
+supports and then performs the standard peeling on the gathered graph — the
+same "survey in parallel, post-process the much smaller result" split the
+paper uses for the FQDN analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from ..core.callbacks import EdgeSupportCounter
+from ..core.push_pull import triangle_survey_push_pull
+from ..core.results import SurveyReport
+from ..core.survey import triangle_survey_push
+from ..graph.distributed_graph import DistributedGraph
+from ..graph.dodgr import DODGraph
+
+__all__ = ["TrussDecomposition", "truss_decomposition"]
+
+Edge = Tuple[Hashable, Hashable]
+
+
+def _edge_key(u: Hashable, v: Hashable) -> Edge:
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@dataclass
+class TrussDecomposition:
+    """Result of a full truss decomposition."""
+
+    report: SurveyReport
+    #: trussness per edge: the largest k such that the edge is in the k-truss
+    trussness: Dict[Edge, int]
+    #: initial triangle support per edge (before any peeling)
+    initial_support: Dict[Edge, int]
+
+    def max_trussness(self) -> int:
+        return max(self.trussness.values(), default=2)
+
+    def k_truss_edges(self, k: int) -> Set[Edge]:
+        """Edges belonging to the k-truss (every edge with trussness >= k)."""
+        return {edge for edge, value in self.trussness.items() if value >= k}
+
+    def truss_sizes(self) -> Dict[int, int]:
+        """Number of edges whose trussness is exactly k, for every k present."""
+        out: Dict[int, int] = {}
+        for value in self.trussness.values():
+            out[value] = out.get(value, 0) + 1
+        return out
+
+
+def truss_decomposition(
+    graph: DistributedGraph,
+    dodgr: Optional[DODGraph] = None,
+    algorithm: str = "push_pull",
+    graph_name: Optional[str] = None,
+) -> TrussDecomposition:
+    """Compute the trussness of every edge of ``graph``.
+
+    The triangle-support survey runs distributed; the peeling post-processing
+    runs on the gathered (graph, support) pair, which is proportional to the
+    edge count — the quantity the paper's applications treat as small enough
+    to post-process on one machine.
+    """
+    world = graph.world
+    if dodgr is None:
+        dodgr = DODGraph.build(graph, mode="bulk")
+
+    counter = EdgeSupportCounter(world)
+    if algorithm == "push":
+        report = triangle_survey_push(dodgr, counter.callback, graph_name=graph_name)
+    elif algorithm == "push_pull":
+        report = triangle_survey_push_pull(dodgr, counter.callback, graph_name=graph_name)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    counter.finalize()
+    initial_support = counter.result()
+
+    # ------------------------------------------------------------------
+    # Peeling on the gathered graph.
+    # ------------------------------------------------------------------
+    adjacency: Dict[Hashable, Set[Hashable]] = {}
+    for u, v, _meta in graph.edges():
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+
+    support: Dict[Edge, int] = {}
+    for u, v, _meta in graph.edges():
+        support[_edge_key(u, v)] = initial_support.get(_edge_key(u, v), 0)
+
+    # Bucket queue over support values (supports only ever decrease).
+    trussness: Dict[Edge, int] = {}
+    remaining = set(support)
+    buckets: Dict[int, Set[Edge]] = {}
+    for edge, value in support.items():
+        buckets.setdefault(value, set()).add(edge)
+
+    current_support = dict(support)
+    level = 0
+    processed = 0
+    while processed < len(support):
+        while level not in buckets or not buckets[level]:
+            level += 1
+            if level > len(support) + 2:  # pragma: no cover - safety valve
+                break
+        if level not in buckets or not buckets[level]:
+            break
+        edge = buckets[level].pop()
+        if edge not in remaining:
+            continue
+        u, v = edge
+        # Trussness of an edge peeled at support s is s + 2.
+        trussness[edge] = level + 2
+        remaining.discard(edge)
+        processed += 1
+        adjacency[u].discard(v)
+        adjacency[v].discard(u)
+        # Every common neighbour w formed a triangle with (u, v); peeling the
+        # edge lowers the support of (u, w) and (v, w).
+        for w in adjacency[u] & adjacency[v]:
+            for other in (_edge_key(u, w), _edge_key(v, w)):
+                if other not in remaining:
+                    continue
+                old = current_support[other]
+                new = max(level, old - 1)
+                if new != old:
+                    buckets[old].discard(other)
+                    buckets.setdefault(new, set()).add(other)
+                    current_support[other] = new
+
+    return TrussDecomposition(
+        report=report, trussness=trussness, initial_support=dict(support)
+    )

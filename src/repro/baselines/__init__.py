@@ -1,0 +1,37 @@
+"""Baseline triangle counting implementations used for the Table 2 comparison.
+
+All distributed baselines run on the same simulated runtime as TriPoll so
+the comparison isolates *algorithmic* differences (communication pattern,
+work distribution) rather than implementation constants.
+"""
+
+from .networkx_ref import (
+    average_clustering_nx,
+    clustering_coefficients_nx,
+    local_triangle_counts_nx,
+    triangle_count_nx,
+)
+from .pearce import pearce_triangle_count
+from .serial import (
+    edge_iterator_count,
+    forward_count,
+    local_triangle_counts,
+    node_iterator_count,
+)
+from .tom2d import is_perfect_square, tom2d_triangle_count
+from .tric import tric_triangle_count
+
+__all__ = [
+    "pearce_triangle_count",
+    "tom2d_triangle_count",
+    "tric_triangle_count",
+    "is_perfect_square",
+    "node_iterator_count",
+    "forward_count",
+    "edge_iterator_count",
+    "local_triangle_counts",
+    "triangle_count_nx",
+    "local_triangle_counts_nx",
+    "clustering_coefficients_nx",
+    "average_clustering_nx",
+]

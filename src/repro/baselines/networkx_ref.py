@@ -1,0 +1,52 @@
+"""networkx-based reference implementations (test oracles).
+
+These wrappers are *not* distributed algorithms; they exist so every
+distributed implementation in this repository can be validated against an
+independent, widely-used library on small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "triangle_count_nx",
+    "local_triangle_counts_nx",
+    "clustering_coefficients_nx",
+    "average_clustering_nx",
+]
+
+Edges = Iterable[Tuple[Hashable, Hashable]] | Iterable[Tuple[Hashable, Hashable, Any]]
+
+
+def _to_nx(edges: Edges) -> nx.Graph:
+    graph = nx.Graph()
+    for edge in edges:
+        u, v = edge[0], edge[1]
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def triangle_count_nx(edges: Edges) -> int:
+    """Global triangle count using networkx."""
+    graph = _to_nx(edges)
+    return sum(nx.triangles(graph).values()) // 3
+
+
+def local_triangle_counts_nx(edges: Edges) -> Dict[Hashable, int]:
+    """Per-vertex triangle participation using networkx."""
+    return dict(nx.triangles(_to_nx(edges)))
+
+
+def clustering_coefficients_nx(edges: Edges) -> Dict[Hashable, float]:
+    return dict(nx.clustering(_to_nx(edges)))
+
+
+def average_clustering_nx(edges: Edges) -> float:
+    graph = _to_nx(edges)
+    if graph.number_of_nodes() == 0:
+        return 0.0
+    return nx.average_clustering(graph)

@@ -1,0 +1,103 @@
+"""Serial triangle counting baselines (single rank, no communication).
+
+These are the reference algorithms every distributed implementation is
+validated against, and the node-iterator family the related-work section
+traces the lineage of distributed triangle counting back to:
+
+* :func:`node_iterator_count` — the classic node-iterator: for every vertex,
+  test every pair of neighbours for adjacency.
+* :func:`forward_count` — the degree-ordered "forward" algorithm (compact
+  version of what every modern system, including TriPoll, parallelises).
+* :func:`edge_iterator_count` — intersect the neighbourhoods of the two
+  endpoints of every edge, divide by three.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Set, Tuple
+
+from ..graph.degree import order_key
+from ..graph.properties import build_adjacency
+
+__all__ = [
+    "node_iterator_count",
+    "forward_count",
+    "edge_iterator_count",
+    "local_triangle_counts",
+]
+
+Edges = Iterable[Tuple[Hashable, Hashable]] | Iterable[Tuple[Hashable, Hashable, Any]]
+
+
+def node_iterator_count(edges: Edges) -> int:
+    """Count triangles by checking all neighbour pairs of every vertex.
+
+    Each triangle is seen three times (once per vertex), so the total is
+    divided by three.  O(sum_v d(v)^2) — only suitable as a small-graph
+    oracle.
+    """
+    adjacency = build_adjacency(edges)
+    count = 0
+    for _v, neighbours in adjacency.items():
+        ordered = list(neighbours)
+        for i in range(len(ordered)):
+            adj_i = adjacency[ordered[i]]
+            for j in range(i + 1, len(ordered)):
+                if ordered[j] in adj_i:
+                    count += 1
+    return count // 3
+
+
+def forward_count(edges: Edges) -> int:
+    """Degree-ordered forward algorithm: each triangle counted exactly once."""
+    adjacency = build_adjacency(edges)
+    keys = {v: order_key(v, len(neigh)) for v, neigh in adjacency.items()}
+    out: Dict[Hashable, List[Hashable]] = {
+        v: sorted((u for u in neigh if keys[v] < keys[u]), key=lambda u: keys[u])
+        for v, neigh in adjacency.items()
+    }
+    out_sets: Dict[Hashable, Set[Hashable]] = {v: set(nbrs) for v, nbrs in out.items()}
+    count = 0
+    for p, out_p in out.items():
+        for i, q in enumerate(out_p):
+            out_q = out_sets[q]
+            for r in out_p[i + 1 :]:
+                if r in out_q:
+                    count += 1
+    return count
+
+
+def edge_iterator_count(edges: Edges) -> int:
+    """Intersect endpoint neighbourhoods per edge; each triangle seen three times."""
+    adjacency = build_adjacency(edges)
+    seen = set()
+    count = 0
+    for u, neighbours in adjacency.items():
+        for v in neighbours:
+            key = (u, v) if repr(u) <= repr(v) else (v, u)
+            if key in seen:
+                continue
+            seen.add(key)
+            count += len(adjacency[u] & adjacency[v])
+    return count // 3
+
+
+def local_triangle_counts(edges: Edges) -> Dict[Hashable, int]:
+    """Per-vertex triangle participation counts (serial oracle)."""
+    adjacency = build_adjacency(edges)
+    keys = {v: order_key(v, len(neigh)) for v, neigh in adjacency.items()}
+    out = {
+        v: sorted((u for u in neigh if keys[v] < keys[u]), key=lambda u: keys[u])
+        for v, neigh in adjacency.items()
+    }
+    out_sets = {v: set(nbrs) for v, nbrs in out.items()}
+    counts: Dict[Hashable, int] = {v: 0 for v in adjacency}
+    for p, out_p in out.items():
+        for i, q in enumerate(out_p):
+            out_q = out_sets[q]
+            for r in out_p[i + 1 :]:
+                if r in out_q:
+                    counts[p] += 1
+                    counts[q] += 1
+                    counts[r] += 1
+    return counts

@@ -1,0 +1,44 @@
+"""Benchmark harness: stand-in datasets, scaling drivers, reporting."""
+
+from .comparison import DEFAULT_SYSTEMS, ComparisonResult, SystemResult, compare_systems
+from .datasets import DATASETS, StandInDataset, bench_scale, dataset_names, load_dataset
+from .reporting import (
+    format_histogram,
+    format_kv,
+    format_matrix,
+    format_series,
+    format_table,
+    human_bytes,
+    human_count,
+)
+from .scaling import (
+    ScalingPoint,
+    ScalingResult,
+    run_survey_at_scale,
+    strong_scaling,
+    weak_scaling_rmat,
+)
+
+__all__ = [
+    "DATASETS",
+    "StandInDataset",
+    "load_dataset",
+    "dataset_names",
+    "bench_scale",
+    "ScalingPoint",
+    "ScalingResult",
+    "run_survey_at_scale",
+    "strong_scaling",
+    "weak_scaling_rmat",
+    "ComparisonResult",
+    "SystemResult",
+    "compare_systems",
+    "DEFAULT_SYSTEMS",
+    "format_table",
+    "format_kv",
+    "format_series",
+    "format_histogram",
+    "format_matrix",
+    "human_bytes",
+    "human_count",
+]

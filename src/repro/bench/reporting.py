@@ -1,0 +1,151 @@
+"""Plain-text table and series formatting for the benchmark harness.
+
+The paper reports results as tables (Tables 1-4) and figures (Figs. 4-9).
+The benchmark scripts regenerate the same rows/series and print them with
+these helpers, so ``pytest benchmarks/ --benchmark-only -s`` produces a
+textual version of every artifact next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "format_table",
+    "format_kv",
+    "format_series",
+    "format_histogram",
+    "format_matrix",
+    "human_bytes",
+    "human_count",
+]
+
+
+def human_bytes(value: float) -> str:
+    """Format a byte count with a binary-ish unit (B, KB, MB, GB)."""
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:,.1f} {unit}" if unit != "B" else f"{value:,.0f} B"
+        value /= 1024.0
+    return f"{value:,.1f} TB"
+
+
+def human_count(value: Optional[float]) -> str:
+    """Format a count with K/M/B suffixes (Table 1 style)."""
+    if value is None:
+        return "-"
+    for threshold, suffix in ((1e12, "T"), (1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f}{suffix}"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return f"{int(value)}"
+
+
+def _stringify(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    header = list(columns)
+    body = [[_stringify(row.get(col)) for col in header] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, Any], title: Optional[str] = None) -> str:
+    """Render a mapping as aligned ``key: value`` lines."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if pairs:
+        width = max(len(str(key)) for key in pairs)
+        for key, value in pairs.items():
+            lines.append(f"{str(key).ljust(width)} : {_stringify(value)}")
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[Any],
+    ys: Sequence[Any],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+) -> str:
+    """Render a figure series as two aligned columns."""
+    rows = [{x_label: x, y_label: y} for x, y in zip(xs, ys)]
+    return format_table(rows, columns=[x_label, y_label], title=title)
+
+
+def format_histogram(
+    histogram: Mapping[Any, int],
+    key_label: str = "bucket",
+    title: Optional[str] = None,
+    max_bar: int = 40,
+) -> str:
+    """Render a histogram with proportional ASCII bars (log-style figures)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not histogram:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    peak = max(histogram.values())
+    keys = sorted(histogram.keys(), key=lambda k: (isinstance(k, str), k))
+    key_width = max(len(str(k)) for k in keys)
+    for key in keys:
+        count = histogram[key]
+        bar = "#" * max(1, int(max_bar * count / peak)) if count > 0 else ""
+        lines.append(f"{str(key).ljust(key_width)}  {count:>10,d}  {bar}")
+    return "\n".join(lines)
+
+
+def format_matrix(
+    labels: Sequence[str],
+    grid: Sequence[Sequence[int]],
+    title: Optional[str] = None,
+    max_labels: int = 20,
+) -> str:
+    """Render a (possibly truncated) 2D count matrix (Fig. 8 heat map)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    shown = list(labels[:max_labels])
+    if len(labels) > max_labels:
+        lines.append(f"(showing first {max_labels} of {len(labels)} domains)")
+    width = max((len(label) for label in shown), default=4)
+    header = " " * (width + 1) + " ".join(f"{i:>6d}" for i in range(len(shown)))
+    lines.append(header)
+    for i, label in enumerate(shown):
+        row = grid[i][: len(shown)]
+        lines.append(f"{label.ljust(width)} " + " ".join(f"{value:>6d}" for value in row))
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""YGM-style composable distributed containers.
+
+These mirror the containers Section 4.1.4 of the paper builds on top of the
+fire-and-forget RPC layer: a distributed map (graph storage), a distributed
+counting set (survey histograms), a bag (edge ingestion), a set
+(de-duplication) and a block-distributed array (per-vertex accumulators).
+"""
+
+from .counting_set import DistributedCountingSet
+from .darray import DistributedArray
+from .dbag import DistributedBag
+from .dmap import DistributedMap
+from .dset import DistributedSet
+
+__all__ = [
+    "DistributedMap",
+    "DistributedCountingSet",
+    "DistributedBag",
+    "DistributedSet",
+    "DistributedArray",
+]

@@ -1,0 +1,123 @@
+"""Block-distributed dense array of numeric values.
+
+Used for per-vertex accumulators when vertex ids are dense integers — e.g.
+local triangle participation counts feeding clustering-coefficient and truss
+computations.  Values are partitioned in contiguous blocks so that rank
+``r`` owns indices ``[r*block, (r+1)*block)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..runtime.world import RankContext, World
+
+__all__ = ["DistributedArray"]
+
+
+class DistributedArray:
+    """A fixed-length, block-partitioned array with asynchronous accumulation."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        world: World,
+        length: int,
+        fill_value: float = 0.0,
+        dtype: str = "float64",
+        name: Optional[str] = None,
+    ) -> None:
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        self.world = world
+        self.length = length
+        self.dtype = np.dtype(dtype)
+        if name is None:
+            name = f"darray_{DistributedArray._counter}"
+            DistributedArray._counter += 1
+        self.name = world.unique_name(name)
+        self.block = (length + world.nranks - 1) // world.nranks if length else 0
+        for ctx in world.ranks:
+            lo, hi = self.local_range(ctx.rank)
+            ctx.local_state[self._slot] = np.full(max(0, hi - lo), fill_value, dtype=self.dtype)
+        self._h_add = world.register_handler(self._handle_add, f"{self.name}.add")
+        self._h_set = world.register_handler(self._handle_set, f"{self.name}.set")
+
+    @property
+    def _slot(self) -> str:
+        return f"container:{self.name}"
+
+    # ------------------------------------------------------------------
+    def local_range(self, rank: int) -> tuple[int, int]:
+        """Global index interval [lo, hi) owned by ``rank``."""
+        if self.block == 0:
+            return (0, 0)
+        lo = min(rank * self.block, self.length)
+        hi = min(lo + self.block, self.length)
+        return lo, hi
+
+    def owner(self, index: int) -> int:
+        if index < 0 or index >= self.length:
+            raise IndexError(f"index {index} out of range [0, {self.length})")
+        if self.block == 0:
+            raise IndexError("empty array has no owners")
+        return min(index // self.block, self.world.nranks - 1)
+
+    def local_values(self, rank_or_ctx: int | RankContext) -> np.ndarray:
+        ctx = (
+            rank_or_ctx
+            if isinstance(rank_or_ctx, RankContext)
+            else self.world.rank(rank_or_ctx)
+        )
+        return ctx.local_state[self._slot]
+
+    # ------------------------------------------------------------------
+    def _handle_add(self, ctx: RankContext, index: int, amount: float) -> None:
+        lo, _ = self.local_range(ctx.rank)
+        self.local_values(ctx)[index - lo] += amount
+
+    def _handle_set(self, ctx: RankContext, index: int, value: float) -> None:
+        lo, _ = self.local_range(ctx.rank)
+        self.local_values(ctx)[index - lo] = value
+
+    def async_add(self, ctx: RankContext, index: int, amount: float = 1.0) -> None:
+        """Accumulate into a (possibly remote) element, fire-and-forget."""
+        ctx.async_call(self.owner(index), self._h_add, index, float(amount))
+
+    def async_set(self, ctx: RankContext, index: int, value: float) -> None:
+        ctx.async_call(self.owner(index), self._h_set, index, float(value))
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, index: int) -> float:
+        rank = self.owner(index)
+        lo, _ = self.local_range(rank)
+        return float(self.local_values(rank)[index - lo])
+
+    def __setitem__(self, index: int, value: float) -> None:
+        rank = self.owner(index)
+        lo, _ = self.local_range(rank)
+        self.local_values(rank)[index - lo] = value
+
+    def __len__(self) -> int:
+        return self.length
+
+    def gather(self) -> np.ndarray:
+        """Assemble the full array on the driver."""
+        parts: List[np.ndarray] = [
+            self.local_values(rank) for rank in range(self.world.nranks)
+        ]
+        if not parts:
+            return np.empty(0, dtype=self.dtype)
+        return np.concatenate(parts)[: self.length]
+
+    def map_local(self, fn: Callable[[np.ndarray], np.ndarray]) -> None:
+        """Apply ``fn`` in place to every rank's local block."""
+        for ctx in self.world.ranks:
+            block = self.local_values(ctx)
+            block[:] = fn(block)
+
+    def sum(self) -> float:
+        return float(sum(self.local_values(r).sum() for r in range(self.world.nranks)))

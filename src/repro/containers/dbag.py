@@ -1,0 +1,99 @@
+"""Distributed bag: an unordered, rank-partitioned multiset of items.
+
+YGM ships a ``ygm::container::bag`` used for ingesting edge lists before they
+are shuffled to their owner ranks.  The simulated equivalent supports
+driver-side bulk insertion (round-robin or explicit rank placement),
+asynchronous insertion from RPC handlers, `for_all`-style local iteration,
+and rebalancing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional
+
+from ..runtime.world import RankContext, World
+
+__all__ = ["DistributedBag"]
+
+
+class DistributedBag:
+    """An unordered collection partitioned across ranks."""
+
+    _counter = 0
+
+    def __init__(self, world: World, name: Optional[str] = None) -> None:
+        self.world = world
+        if name is None:
+            name = f"dbag_{DistributedBag._counter}"
+            DistributedBag._counter += 1
+        self.name = world.unique_name(name)
+        for ctx in world.ranks:
+            ctx.local_state.setdefault(self._slot, [])
+        self._h_insert = world.register_handler(self._handle_insert, f"{self.name}.insert")
+        self._next_rank = 0
+
+    @property
+    def _slot(self) -> str:
+        return f"container:{self.name}"
+
+    def local_items(self, rank_or_ctx: int | RankContext) -> List[Any]:
+        ctx = (
+            rank_or_ctx
+            if isinstance(rank_or_ctx, RankContext)
+            else self.world.rank(rank_or_ctx)
+        )
+        return ctx.local_state[self._slot]
+
+    # ------------------------------------------------------------------
+    def _handle_insert(self, ctx: RankContext, item: Any) -> None:
+        self.local_items(ctx).append(item)
+
+    def async_insert(self, ctx: RankContext, item: Any, dest: Optional[int] = None) -> None:
+        """Insert ``item`` from rank ``ctx``; destination defaults to round-robin."""
+        if dest is None:
+            dest = self._next_rank
+            self._next_rank = (self._next_rank + 1) % self.world.nranks
+        ctx.async_call(dest, self._h_insert, item)
+
+    # ------------------------------------------------------------------
+    def insert(self, item: Any, rank: Optional[int] = None) -> None:
+        """Driver-side insert (round-robin by default)."""
+        if rank is None:
+            rank = self._next_rank
+            self._next_rank = (self._next_rank + 1) % self.world.nranks
+        self.local_items(rank).append(item)
+
+    def extend(self, items: Iterable[Any]) -> None:
+        for item in items:
+            self.insert(item)
+
+    def size(self) -> int:
+        return sum(len(self.local_items(r)) for r in range(self.world.nranks))
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def items(self) -> Iterator[Any]:
+        for rank in range(self.world.nranks):
+            yield from self.local_items(rank)
+
+    def rank_sizes(self) -> List[int]:
+        return [len(self.local_items(r)) for r in range(self.world.nranks)]
+
+    def for_all(self, fn: Callable[[RankContext, Any], None]) -> None:
+        """Run ``fn(ctx, item)`` for every item, on the rank that stores it."""
+        for ctx in self.world.ranks:
+            for item in self.local_items(ctx):
+                fn(ctx, item)
+
+    def rebalance(self) -> None:
+        """Redistribute items so every rank holds an equal share (±1)."""
+        everything = list(self.items())
+        self.clear()
+        nranks = self.world.nranks
+        for index, item in enumerate(everything):
+            self.local_items(index % nranks).append(item)
+
+    def clear(self) -> None:
+        for rank in range(self.world.nranks):
+            self.local_items(rank).clear()

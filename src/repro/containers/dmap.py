@@ -1,0 +1,187 @@
+"""Distributed hash map built on the simulated YGM communicator.
+
+This is the container TriPoll uses for graph storage: key-value pairs live
+at a deterministic rank computed from a hash of the key, and the primary
+access pattern is ``visit`` — send an RPC to the owner rank that executes a
+function with access to the locally stored value (creating it on demand for
+``visit_or_default``-style operations).
+
+The container is *composable*: its handlers interleave freely with any other
+messages in flight, which is exactly how TriPoll's counting sets increment
+remote counters while adjacency fragments are still being exchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..runtime.rpc import RpcHandle
+from ..runtime.world import RankContext, World, stable_hash
+
+__all__ = ["DistributedMap"]
+
+
+class DistributedMap:
+    """A hash-partitioned key/value store with YGM-style asynchronous access.
+
+    Parameters
+    ----------
+    world:
+        The simulated world the map is distributed over.
+    name:
+        Identifier used for the per-rank storage slot; two maps with different
+        names coexist independently on the same world.
+    """
+
+    _counter = 0
+
+    def __init__(self, world: World, name: Optional[str] = None) -> None:
+        self.world = world
+        if name is None:
+            name = f"dmap_{DistributedMap._counter}"
+            DistributedMap._counter += 1
+        self.name = world.unique_name(name)
+        for ctx in world.ranks:
+            ctx.local_state.setdefault(self._slot, {})
+        self._h_insert = world.register_handler(self._handle_insert, f"{self.name}.insert")
+        self._h_erase = world.register_handler(self._handle_erase, f"{self.name}.erase")
+        self._h_insert_if_missing = world.register_handler(
+            self._handle_insert_if_missing, f"{self.name}.insert_if_missing"
+        )
+        #: cache of visit handlers registered through :meth:`register_visitor`
+        self._visitors: Dict[int, RpcHandle] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def _slot(self) -> str:
+        return f"container:{self.name}"
+
+    def local_store(self, rank_or_ctx: int | RankContext) -> Dict[Any, Any]:
+        """The raw dict holding this map's key/value pairs on one rank."""
+        ctx = (
+            rank_or_ctx
+            if isinstance(rank_or_ctx, RankContext)
+            else self.world.rank(rank_or_ctx)
+        )
+        return ctx.local_state[self._slot]
+
+    def owner(self, key: Any) -> int:
+        """Rank that stores ``key``."""
+        return stable_hash((self.name, key)) % self.world.nranks
+
+    # ------------------------------------------------------------------
+    # RPC handlers (executed on the owner rank)
+    # ------------------------------------------------------------------
+    def _handle_insert(self, ctx: RankContext, key: Any, value: Any) -> None:
+        self.local_store(ctx)[key] = value
+
+    def _handle_insert_if_missing(self, ctx: RankContext, key: Any, value: Any) -> None:
+        store = self.local_store(ctx)
+        if key not in store:
+            store[key] = value
+
+    def _handle_erase(self, ctx: RankContext, key: Any) -> None:
+        self.local_store(ctx).pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Asynchronous operations (must be issued from a RankContext)
+    # ------------------------------------------------------------------
+    def async_insert(self, ctx: RankContext, key: Any, value: Any) -> None:
+        """Insert/overwrite ``key`` on its owner rank (fire-and-forget)."""
+        ctx.async_call(self.owner(key), self._h_insert, key, value)
+
+    def async_insert_if_missing(self, ctx: RankContext, key: Any, value: Any) -> None:
+        ctx.async_call(self.owner(key), self._h_insert_if_missing, key, value)
+
+    def async_erase(self, ctx: RankContext, key: Any) -> None:
+        ctx.async_call(self.owner(key), self._h_erase, key)
+
+    def register_visitor(
+        self, func: Callable[..., Any], name: Optional[str] = None
+    ) -> RpcHandle:
+        """Register a visit function ``func(ctx, store, key, *args)``.
+
+        The wrapper looks up this map's local store on the destination rank
+        before invoking ``func``, so callers never touch remote state
+        directly.
+        """
+
+        def _wrapper(ctx: RankContext, key: Any, *args: Any) -> None:
+            func(ctx, self.local_store(ctx), key, *args)
+
+        handler_name = name or f"{self.name}.visit.{getattr(func, '__qualname__', 'fn')}"
+        handle = self.world.register_handler(_wrapper, handler_name)
+        self._visitors[id(func)] = handle
+        return handle
+
+    def async_visit(
+        self,
+        ctx: RankContext,
+        key: Any,
+        visitor: Callable[..., Any] | RpcHandle,
+        *args: Any,
+    ) -> None:
+        """Run ``visitor`` on the owner of ``key`` with the local store in scope.
+
+        ``visitor`` may be either a handle from :meth:`register_visitor` or a
+        plain callable (registered on first use).
+        """
+        if isinstance(visitor, RpcHandle):
+            handle = visitor
+        else:
+            handle = self._visitors.get(id(visitor))
+            if handle is None:
+                handle = self.register_visitor(visitor)
+        ctx.async_call(self.owner(key), handle, key, *args)
+
+    # ------------------------------------------------------------------
+    # Synchronous (driver-side) operations
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Driver-side insert: place the pair directly on its owner rank."""
+        self.local_store(self.owner(key))[key] = value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Driver-side lookup (reads the owner's local store directly)."""
+        return self.local_store(self.owner(key)).get(key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.local_store(self.owner(key))
+
+    def erase(self, key: Any) -> None:
+        self.local_store(self.owner(key)).pop(key, None)
+
+    def size(self) -> int:
+        """Total number of key/value pairs across all ranks."""
+        return sum(len(self.local_store(r)) for r in range(self.world.nranks))
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate over every (key, value) pair in rank order."""
+        for rank in range(self.world.nranks):
+            yield from self.local_store(rank).items()
+
+    def keys(self) -> Iterator[Any]:
+        for key, _ in self.items():
+            yield key
+
+    def local_items(self, rank: int) -> Iterator[Tuple[Any, Any]]:
+        """Iterate over the pairs stored on a single rank."""
+        yield from self.local_store(rank).items()
+
+    def rank_sizes(self) -> List[int]:
+        """Number of pairs on each rank (load-balance diagnostics)."""
+        return [len(self.local_store(r)) for r in range(self.world.nranks)]
+
+    def clear(self) -> None:
+        for rank in range(self.world.nranks):
+            self.local_store(rank).clear()
+
+    def gather_all(self) -> Dict[Any, Any]:
+        """Collect the full contents into one dict (test / small-data helper)."""
+        out: Dict[Any, Any] = {}
+        for key, value in self.items():
+            out[key] = value
+        return out

@@ -1,0 +1,87 @@
+"""Distributed set: hash-partitioned collection of unique items.
+
+Used for de-duplicating edges during graph ingestion (the Reddit multigraph
+keeps only the chronologically-first comment between two authors; turning a
+multigraph into a simple graph needs a distributed membership structure) and
+by tests that need a distributed uniqueness check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..runtime.world import RankContext, World, stable_hash
+
+__all__ = ["DistributedSet"]
+
+
+class DistributedSet:
+    """A hash-partitioned set with asynchronous insertion."""
+
+    _counter = 0
+
+    def __init__(self, world: World, name: Optional[str] = None) -> None:
+        self.world = world
+        if name is None:
+            name = f"dset_{DistributedSet._counter}"
+            DistributedSet._counter += 1
+        self.name = world.unique_name(name)
+        for ctx in world.ranks:
+            ctx.local_state.setdefault(self._slot, set())
+        self._h_insert = world.register_handler(self._handle_insert, f"{self.name}.insert")
+        self._h_erase = world.register_handler(self._handle_erase, f"{self.name}.erase")
+
+    @property
+    def _slot(self) -> str:
+        return f"container:{self.name}"
+
+    def local_items(self, rank_or_ctx: int | RankContext) -> set:
+        ctx = (
+            rank_or_ctx
+            if isinstance(rank_or_ctx, RankContext)
+            else self.world.rank(rank_or_ctx)
+        )
+        return ctx.local_state[self._slot]
+
+    def owner(self, item: Any) -> int:
+        return stable_hash((self.name, item)) % self.world.nranks
+
+    # ------------------------------------------------------------------
+    def _handle_insert(self, ctx: RankContext, item: Any) -> None:
+        self.local_items(ctx).add(item)
+
+    def _handle_erase(self, ctx: RankContext, item: Any) -> None:
+        self.local_items(ctx).discard(item)
+
+    def async_insert(self, ctx: RankContext, item: Any) -> None:
+        ctx.async_call(self.owner(item), self._h_insert, item)
+
+    def async_erase(self, ctx: RankContext, item: Any) -> None:
+        ctx.async_call(self.owner(item), self._h_erase, item)
+
+    # ------------------------------------------------------------------
+    def insert(self, item: Any) -> None:
+        self.local_items(self.owner(item)).add(item)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self.local_items(self.owner(item))
+
+    def erase(self, item: Any) -> None:
+        self.local_items(self.owner(item)).discard(item)
+
+    def size(self) -> int:
+        return sum(len(self.local_items(r)) for r in range(self.world.nranks))
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def items(self) -> Iterator[Any]:
+        for rank in range(self.world.nranks):
+            yield from self.local_items(rank)
+
+    def rank_sizes(self) -> List[int]:
+        return [len(self.local_items(r)) for r in range(self.world.nranks)]
+
+    def clear(self) -> None:
+        for rank in range(self.world.nranks):
+            self.local_items(rank).clear()

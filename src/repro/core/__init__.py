@@ -1,0 +1,73 @@
+"""TriPoll core: triangle surveys over decorated temporal graphs.
+
+The primary entry points are:
+
+* :func:`~repro.core.push_pull.triangle_survey` — dispatch to either
+  algorithm;
+* :func:`~repro.core.survey.triangle_survey_push` — the Push-Only algorithm
+  (Algorithm 1);
+* :func:`~repro.core.push_pull.triangle_survey_push_pull` — the Push-Pull
+  optimisation (Section 4.4);
+* the callback classes in :mod:`repro.core.callbacks` implementing the
+  paper's surveys (counting, closure times, FQDN tuples, degree triples...).
+"""
+
+from .approximate import ApproximateCount, approximate_triangle_count, sparsify_graph
+from .callbacks import (
+    ClosureTimeSurvey,
+    DegreeTripleSurvey,
+    EdgeSupportCounter,
+    FqdnTripleSurvey,
+    LocalTriangleCounter,
+    MaxEdgeLabelDistribution,
+    TriangleCounter,
+    log2_bucket,
+)
+from .intersection import (
+    INTERSECTION_KERNELS,
+    IntersectionResult,
+    binary_search_intersection,
+    hash_intersection,
+    merge_path_intersection,
+)
+from .push_pull import (
+    DRY_RUN_PHASE,
+    PULL_PHASE,
+    PUSH_PHASE,
+    triangle_survey,
+    triangle_survey_push_pull,
+)
+from .results import SurveyReport
+from .survey import TriangleCallback, triangle_survey_push
+from .wedges import per_rank_wedge_counts, wedge_count, wedge_count_from_edges, work_rate
+
+__all__ = [
+    "triangle_survey",
+    "triangle_survey_push",
+    "triangle_survey_push_pull",
+    "approximate_triangle_count",
+    "sparsify_graph",
+    "ApproximateCount",
+    "SurveyReport",
+    "TriangleCallback",
+    "TriangleCounter",
+    "LocalTriangleCounter",
+    "EdgeSupportCounter",
+    "MaxEdgeLabelDistribution",
+    "ClosureTimeSurvey",
+    "DegreeTripleSurvey",
+    "FqdnTripleSurvey",
+    "log2_bucket",
+    "merge_path_intersection",
+    "binary_search_intersection",
+    "hash_intersection",
+    "IntersectionResult",
+    "INTERSECTION_KERNELS",
+    "wedge_count",
+    "per_rank_wedge_counts",
+    "wedge_count_from_edges",
+    "work_rate",
+    "DRY_RUN_PHASE",
+    "PUSH_PHASE",
+    "PULL_PHASE",
+]

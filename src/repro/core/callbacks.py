@@ -1,0 +1,319 @@
+"""Callback library: the surveys described in the paper, ready to use.
+
+TriPoll's defining feature is that the user supplies a callback executed on
+the metadata of every triangle as it is identified.  This module packages the
+callbacks the paper uses in its evaluation (plus the local-counting variants
+it discusses) as small factory classes: each survey object owns whatever
+distributed state it needs (counting sets, per-rank counters), exposes a
+``callback`` bound method to hand to the survey engine, and a ``result()``
+accessor to read after the run.
+
+Included surveys
+----------------
+
+* :class:`TriangleCounter` — global triangle count (Algorithm 2).
+* :class:`LocalTriangleCounter` — per-vertex triangle participation counts
+  (clustering coefficients, vertex roles).
+* :class:`EdgeSupportCounter` — per-edge triangle participation (truss
+  decomposition support values).
+* :class:`MaxEdgeLabelDistribution` — Algorithm 3: distribution of the
+  maximum edge label over triangles whose vertex labels are pairwise
+  distinct.
+* :class:`ClosureTimeSurvey` — Algorithm 4: joint distribution of wedge
+  opening time and triangle closing time for temporal graphs.
+* :class:`DegreeTripleSurvey` — Section 5.9: counts of
+  ``(ceil(log2 d(p)), ceil(log2 d(q)), ceil(log2 d(r)))`` triples.
+* :class:`FqdnTripleSurvey` — Section 5.8: counts of FQDN 3-tuples over
+  triangles whose three FQDNs are pairwise distinct.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..containers.counting_set import DistributedCountingSet
+from ..graph.metadata import TriangleMetadata, edge_timestamp
+from ..runtime.reductions import all_reduce_sum
+from ..runtime.world import RankContext, World
+
+__all__ = [
+    "TriangleCounter",
+    "LocalTriangleCounter",
+    "EdgeSupportCounter",
+    "MaxEdgeLabelDistribution",
+    "ClosureTimeSurvey",
+    "DegreeTripleSurvey",
+    "FqdnTripleSurvey",
+    "log2_bucket",
+]
+
+
+def log2_bucket(value: float) -> int:
+    """``ceil(log2(value))`` with the conventions the paper's callbacks need.
+
+    Values of zero or below (possible when two comments carry an identical
+    timestamp) fall into bucket 0, as does any value below one second.
+    """
+    if value <= 1.0:
+        return 0
+    return int(math.ceil(math.log2(value)))
+
+
+class TriangleCounter:
+    """Algorithm 2: count triangles with a per-rank counter + all-reduce."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self._per_rank: List[int] = [0] * world.nranks
+
+    def callback(self, ctx: RankContext, tri: TriangleMetadata) -> None:
+        self._per_rank[ctx.rank] += 1
+
+    def local_count(self, rank: int) -> int:
+        return self._per_rank[rank]
+
+    def result(self) -> int:
+        """Global triangle count (the All_Reduce of Algorithm 2)."""
+        return all_reduce_sum(self.world, self._per_rank)
+
+
+class LocalTriangleCounter:
+    """Per-vertex triangle participation counts.
+
+    Every triangle Δpqr increments the count of all three vertices.  Counts
+    for remote vertices are accumulated through a distributed counting set,
+    exactly like a local clustering-coefficient or vertex-role workload
+    would.
+    """
+
+    def __init__(self, world: World, cache_capacity: int = 1024) -> None:
+        self.world = world
+        self.counts = DistributedCountingSet(
+            world, name=None, cache_capacity=cache_capacity
+        )
+
+    def callback(self, ctx: RankContext, tri: TriangleMetadata) -> None:
+        self.counts.async_increment(ctx, tri.p)
+        self.counts.async_increment(ctx, tri.q)
+        self.counts.async_increment(ctx, tri.r)
+
+    def finalize(self) -> None:
+        """Flush caches; call before the final barrier completes the survey."""
+        self.counts.flush_all_caches()
+        self.world.barrier()
+
+    def result(self) -> Dict[Any, int]:
+        return self.counts.counts()
+
+    def count_of(self, vertex: Any) -> int:
+        return self.counts.count_of(vertex)
+
+
+class EdgeSupportCounter:
+    """Per-edge triangle participation (truss support values).
+
+    Edges are keyed canonically as ``(min, max)`` by vertex ordering so the
+    counts of (u, v) and (v, u) coincide.
+    """
+
+    def __init__(self, world: World, cache_capacity: int = 1024) -> None:
+        self.world = world
+        self.counts = DistributedCountingSet(
+            world, name=None, cache_capacity=cache_capacity
+        )
+
+    @staticmethod
+    def _edge_key(u: Any, v: Any) -> Tuple[Any, Any]:
+        try:
+            return (u, v) if u <= v else (v, u)
+        except TypeError:
+            return (u, v) if repr(u) <= repr(v) else (v, u)
+
+    def callback(self, ctx: RankContext, tri: TriangleMetadata) -> None:
+        self.counts.async_increment(ctx, self._edge_key(tri.p, tri.q))
+        self.counts.async_increment(ctx, self._edge_key(tri.p, tri.r))
+        self.counts.async_increment(ctx, self._edge_key(tri.q, tri.r))
+
+    def finalize(self) -> None:
+        self.counts.flush_all_caches()
+        self.world.barrier()
+
+    def result(self) -> Dict[Tuple[Any, Any], int]:
+        return self.counts.counts()
+
+    def support(self, u: Any, v: Any) -> int:
+        return self.counts.count_of(self._edge_key(u, v))
+
+
+class MaxEdgeLabelDistribution:
+    """Algorithm 3: distribution of the maximum edge label over triangles
+    whose three vertex labels are pairwise distinct."""
+
+    def __init__(
+        self,
+        world: World,
+        edge_label: Optional[Callable[[Any], Any]] = None,
+        vertex_label: Optional[Callable[[Any], Any]] = None,
+        cache_capacity: int = 1024,
+    ) -> None:
+        self.world = world
+        self.edge_label = edge_label if edge_label is not None else (lambda meta: meta)
+        self.vertex_label = vertex_label if vertex_label is not None else (lambda meta: meta)
+        self.counters = DistributedCountingSet(
+            world, name=None, cache_capacity=cache_capacity
+        )
+
+    def callback(self, ctx: RankContext, tri: TriangleMetadata) -> None:
+        labels = (
+            self.vertex_label(tri.meta_p),
+            self.vertex_label(tri.meta_q),
+            self.vertex_label(tri.meta_r),
+        )
+        if labels[0] == labels[1] or labels[1] == labels[2] or labels[0] == labels[2]:
+            return
+        max_edge = max(
+            self.edge_label(tri.meta_pq),
+            self.edge_label(tri.meta_pr),
+            self.edge_label(tri.meta_qr),
+        )
+        self.counters.async_increment(ctx, max_edge)
+
+    def finalize(self) -> None:
+        self.counters.flush_all_caches()
+        self.world.barrier()
+
+    def result(self) -> Dict[Any, int]:
+        return self.counters.counts()
+
+
+class ClosureTimeSurvey:
+    """Algorithm 4: joint distribution of wedge-opening and triangle-closing times.
+
+    For each triangle the three edge timestamps ``t1 <= t2 <= t3`` define the
+    wedge opening time ``t2 - t1`` and the closing time ``t3 - t1``; the
+    counter keyed by ``(ceil(log2 dt_open), ceil(log2 dt_close))`` is
+    incremented.  Unlike Algorithm 4's listing (which inherits the distinct-
+    vertex-label filter from Algorithm 3), vertex metadata is not consulted:
+    the Reddit experiment stores timestamps only on edges (Section 5.7).
+    """
+
+    def __init__(
+        self,
+        world: World,
+        timestamp: Optional[Callable[[Any], float]] = None,
+        cache_capacity: int = 4096,
+    ) -> None:
+        self.world = world
+        self.timestamp = timestamp if timestamp is not None else edge_timestamp
+        self.counters = DistributedCountingSet(
+            world, name=None, cache_capacity=cache_capacity
+        )
+
+    def callback(self, ctx: RankContext, tri: TriangleMetadata) -> None:
+        t_pq = self.timestamp(tri.meta_pq)
+        t_pr = self.timestamp(tri.meta_pr)
+        t_qr = self.timestamp(tri.meta_qr)
+        t1, t2, t3 = sorted((t_pq, t_pr, t_qr))
+        open_bucket = log2_bucket(t2 - t1)
+        close_bucket = log2_bucket(t3 - t1)
+        self.counters.async_increment(ctx, (open_bucket, close_bucket))
+
+    def finalize(self) -> None:
+        self.counters.flush_all_caches()
+        self.world.barrier()
+
+    def result(self) -> Dict[Tuple[int, int], int]:
+        """Joint histogram keyed by (open bucket, close bucket)."""
+        return self.counters.counts()
+
+    def closing_time_distribution(self) -> Dict[int, int]:
+        """Marginal distribution of the closing-time bucket (Fig. 6 top)."""
+        out: Dict[int, int] = {}
+        for (_open_bucket, close_bucket), count in self.counters.counts().items():
+            out[close_bucket] = out.get(close_bucket, 0) + count
+        return out
+
+    def opening_time_distribution(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for (open_bucket, _close_bucket), count in self.counters.counts().items():
+            out[open_bucket] = out.get(open_bucket, 0) + count
+        return out
+
+
+class DegreeTripleSurvey:
+    """Section 5.9: histogram of log2-bucketed degree triples (d(p), d(q), d(r)).
+
+    Vertex metadata must carry the vertex's degree (an integer); the
+    benchmark harness decorates the graph accordingly.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        degree_of: Optional[Callable[[Any], int]] = None,
+        cache_capacity: int = 4096,
+    ) -> None:
+        self.world = world
+        self.degree_of = degree_of if degree_of is not None else (lambda meta: int(meta))
+        self.counters = DistributedCountingSet(
+            world, name=None, cache_capacity=cache_capacity
+        )
+
+    def callback(self, ctx: RankContext, tri: TriangleMetadata) -> None:
+        triple = (
+            log2_bucket(self.degree_of(tri.meta_p)),
+            log2_bucket(self.degree_of(tri.meta_q)),
+            log2_bucket(self.degree_of(tri.meta_r)),
+        )
+        self.counters.async_increment(ctx, triple)
+
+    def finalize(self) -> None:
+        self.counters.flush_all_caches()
+        self.world.barrier()
+
+    def result(self) -> Dict[Tuple[int, int, int], int]:
+        return self.counters.counts()
+
+
+class FqdnTripleSurvey:
+    """Section 5.8: count 3-tuples of FQDNs over triangles with three distinct FQDNs.
+
+    Vertex metadata is the FQDN string.  Tuples are stored sorted so the
+    count of a domain triple does not depend on the degree ordering of the
+    triangle's vertices.
+    """
+
+    def __init__(self, world: World, cache_capacity: int = 4096) -> None:
+        self.world = world
+        self.counters = DistributedCountingSet(
+            world, name=None, cache_capacity=cache_capacity
+        )
+
+    def callback(self, ctx: RankContext, tri: TriangleMetadata) -> None:
+        if not tri.all_distinct_vertex_metadata():
+            return
+        key = tuple(sorted((str(tri.meta_p), str(tri.meta_q), str(tri.meta_r))))
+        self.counters.async_increment(ctx, key)
+
+    def finalize(self) -> None:
+        self.counters.flush_all_caches()
+        self.world.barrier()
+
+    def result(self) -> Dict[Tuple[str, str, str], int]:
+        return self.counters.counts()
+
+    def triangles_with_domain(self, domain: str) -> Dict[Tuple[str, str], int]:
+        """2D distribution of the other two FQDNs over triangles containing ``domain``.
+
+        This is the "triangles involving amazon.com" post-processing step of
+        Section 5.8 (Fig. 8): the result maps (other domain 1, other domain 2)
+        pairs — sorted — to counts.
+        """
+        out: Dict[Tuple[str, str], int] = {}
+        for triple, count in self.counters.counts().items():
+            if domain in triple:
+                others = tuple(sorted(d for d in triple if d != domain))
+                if len(others) == 2:
+                    out[others] = out.get(others, 0) + count
+        return out

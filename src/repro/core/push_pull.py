@@ -1,0 +1,258 @@
+"""Push-Pull triangle survey (Section 4.4 of the paper).
+
+The Push-Only algorithm can move enormous amounts of adjacency data towards
+popular target vertices.  The Push-Pull optimisation adds a choice per
+(source rank, target vertex) pair:
+
+1. **Dry-run phase** — every rank walks its local pivots exactly like the
+   push pass but *without sending adjacency data*: it only counts, per target
+   vertex ``q``, how many candidate edges it would push to ``q`` in total
+   across all of its local pivots, and remembers pointers to those pivots.
+   It then sends one proposal message per (rank, ``q``) with the count.
+   The owner of ``q`` compares the count against ``|Adj+(q)|``: if the
+   adjacency list is smaller, it records the source rank in ``q``'s pull
+   list; otherwise it replies telling the source rank to push as usual.
+2. **Push phase** — identical to Push-Only, but sources skip every target
+   whose adjacency list will be pulled instead.
+3. **Pull phase** — owners send ``Adj^m_+(q)`` (coalesced: at most once per
+   requesting rank) to the ranks on each pull list; the receiving rank runs
+   the merge-path intersection locally for all of its pivots that wanted
+   ``q``, and executes the callback there (all six metadata pieces are
+   available: p's data is local, q's came with the pull).
+
+Locally owned targets are always handled in the push phase — messages to
+yourself never touch the wire, so pulling them cannot help.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..graph.dodgr import DODGraph, entry_key
+from ..graph.metadata import TriangleMetadata
+from .intersection import INTERSECTION_KERNELS
+from .results import SurveyReport
+from .survey import DEFAULT_CALLBACK_COMPUTE_UNITS, TriangleCallback, _candidate_key
+
+__all__ = [
+    "triangle_survey_push_pull",
+    "triangle_survey",
+    "DRY_RUN_PHASE",
+    "PUSH_PHASE",
+    "PULL_PHASE",
+]
+
+DRY_RUN_PHASE = "dry_run"
+PUSH_PHASE = "push"
+PULL_PHASE = "pull"
+
+
+def triangle_survey_push_pull(
+    dodgr: DODGraph,
+    callback: Optional[TriangleCallback] = None,
+    kernel: str = "merge_path",
+    reset_stats: bool = True,
+    graph_name: Optional[str] = None,
+    callback_compute_units: int = DEFAULT_CALLBACK_COMPUTE_UNITS,
+) -> SurveyReport:
+    """Run the Push-Pull triangle survey over ``dodgr``.
+
+    Same callback contract as
+    :func:`~repro.core.survey.triangle_survey_push`; see that function for
+    parameter semantics.  The returned report carries the three-phase
+    breakdown (dry run / push / pull) and the number of pulled adjacency
+    lists used for Table 3.
+    """
+    world = dodgr.world
+    nranks = world.nranks
+    intersect = INTERSECTION_KERNELS[kernel]
+    per_triangle_compute = callback_compute_units if callback is not None else 0
+    if reset_stats:
+        world.reset_stats()
+
+    # Per-rank driver-side state for this run -------------------------------
+    # pivots_by_target[rank][q] = list of (pivot vertex, index of q in its adj)
+    pivots_by_target: List[Dict[Any, List[Tuple[Any, int]]]] = [dict() for _ in range(nranks)]
+    # push_targets[rank] = set of target vertices this rank was told to push to
+    push_targets: List[Set[Any]] = [set() for _ in range(nranks)]
+    # pull_lists[rank][q] = list of source ranks that should receive Adj^m_+(q)
+    pull_lists: List[Dict[Any, List[int]]] = [dict() for _ in range(nranks)]
+
+    # ------------------------------------------------------------------
+    # RPC handlers
+    # ------------------------------------------------------------------
+    def _propose_handler(ctx, q: Any, source_rank: int, candidate_count: int) -> None:
+        """Owner of q decides: pull (remember source) or advise push."""
+        record = dodgr.local_store(ctx).get(q)
+        out_degree = len(record["adj"]) if record is not None else 0
+        if record is not None and out_degree < candidate_count:
+            pull_lists[ctx.rank].setdefault(q, []).append(source_rank)
+        else:
+            ctx.async_call(source_rank, _advise_push_handler, q)
+
+    def _advise_push_handler(ctx, q: Any) -> None:
+        push_targets[ctx.rank].add(q)
+
+    def _intersect_handler(
+        ctx, q: Any, p: Any, meta_p: Any, meta_pq: Any, candidates: List[tuple]
+    ) -> None:
+        """Push-phase wedge check at the owner of q (same as Push-Only)."""
+        record = dodgr.local_store(ctx).get(q)
+        ctx.add_counter("wedge_checks", len(candidates))
+        if record is None:
+            return
+        adjacency = record["adj"]
+        meta_q = record["meta"]
+        result = intersect(candidates, adjacency, _candidate_key, entry_key)
+        ctx.add_compute(result.comparisons)
+        for cand_idx, adj_idx in result.matches:
+            r, _d_r, meta_pr = candidates[cand_idx]
+            _, _, meta_qr, meta_r = adjacency[adj_idx]
+            ctx.add_counter("triangles_found", 1)
+            if callback is not None:
+                ctx.add_compute(per_triangle_compute)
+                callback(
+                    ctx,
+                    TriangleMetadata(
+                        p=p, q=q, r=r,
+                        meta_p=meta_p, meta_q=meta_q, meta_r=meta_r,
+                        meta_pq=meta_pq, meta_pr=meta_pr, meta_qr=meta_qr,
+                    ),
+                )
+
+    def _pull_deliver_handler(
+        ctx, q: Any, meta_q: Any, adjacency_q: List[tuple]
+    ) -> None:
+        """Pull-phase: Adj^m_+(q) arrives at a source rank; intersect locally."""
+        ctx.add_counter("vertices_pulled", 1)
+        store = dodgr.local_store(ctx)
+        wanting_pivots = pivots_by_target[ctx.rank].get(q, ())
+        for p, q_index in wanting_pivots:
+            record = store.get(p)
+            if record is None:
+                continue
+            adjacency_p = record["adj"]
+            meta_p = record["meta"]
+            meta_pq = adjacency_p[q_index][2]
+            suffix = adjacency_p[q_index + 1 :]
+            ctx.add_counter("wedge_checks", len(suffix))
+            result = intersect(suffix, adjacency_q, entry_key, _candidate_key)
+            ctx.add_compute(result.comparisons)
+            for suff_idx, pulled_idx in result.matches:
+                r, _d_r, meta_pr, meta_r = suffix[suff_idx]
+                meta_qr = adjacency_q[pulled_idx][2]
+                ctx.add_counter("triangles_found", 1)
+                if callback is not None:
+                    ctx.add_compute(per_triangle_compute)
+                    callback(
+                        ctx,
+                        TriangleMetadata(
+                            p=p, q=q, r=r,
+                            meta_p=meta_p, meta_q=meta_q, meta_r=meta_r,
+                            meta_pq=meta_pq, meta_pr=meta_pr, meta_qr=meta_qr,
+                        ),
+                    )
+
+    h_propose = world.register_handler(_propose_handler)
+    _h_advise = world.register_handler(_advise_push_handler)
+    h_intersect = world.register_handler(_intersect_handler)
+    h_pull_deliver = world.register_handler(_pull_deliver_handler)
+
+    host_start = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Phase 1: Push vs Pull dry run.
+    # ------------------------------------------------------------------
+    world.begin_phase(DRY_RUN_PHASE)
+    for ctx in world.ranks:
+        rank = ctx.rank
+        store = dodgr.local_store(ctx)
+        candidate_totals: Dict[Any, int] = {}
+        targets = pivots_by_target[rank]
+        for p, record in store.items():
+            adjacency = record["adj"]
+            if len(adjacency) < 2:
+                continue
+            for i in range(len(adjacency) - 1):
+                q = adjacency[i][0]
+                suffix_len = len(adjacency) - 1 - i
+                targets.setdefault(q, []).append((p, i))
+                if dodgr.owner(q) == rank:
+                    # Local targets are always pushed (zero wire cost).
+                    push_targets[rank].add(q)
+                else:
+                    candidate_totals[q] = candidate_totals.get(q, 0) + suffix_len
+        for q, total in candidate_totals.items():
+            ctx.async_call(dodgr.owner(q), h_propose, q, rank, total)
+    world.barrier()
+
+    # ------------------------------------------------------------------
+    # Phase 2: Push phase (skip targets that will be pulled).
+    # ------------------------------------------------------------------
+    world.begin_phase(PUSH_PHASE)
+    for ctx in world.ranks:
+        rank = ctx.rank
+        store = dodgr.local_store(ctx)
+        allowed = push_targets[rank]
+        for p, record in store.items():
+            adjacency = record["adj"]
+            if len(adjacency) < 2:
+                continue
+            meta_p = record["meta"]
+            for i in range(len(adjacency) - 1):
+                q, _d_q, meta_pq, _meta_q = adjacency[i]
+                if q not in allowed:
+                    continue
+                candidates = [
+                    (entry[0], entry[1], entry[2]) for entry in adjacency[i + 1 :]
+                ]
+                ctx.async_call(dodgr.owner(q), h_intersect, q, p, meta_p, meta_pq, candidates)
+    world.barrier()
+
+    # ------------------------------------------------------------------
+    # Phase 3: Pull phase (owners broadcast adjacency lists, coalesced).
+    # ------------------------------------------------------------------
+    world.begin_phase(PULL_PHASE)
+    for ctx in world.ranks:
+        rank = ctx.rank
+        store = dodgr.local_store(ctx)
+        for q, requesters in pull_lists[rank].items():
+            record = store.get(q)
+            if record is None:
+                continue
+            meta_q = record["meta"]
+            # The pulled payload omits meta(r): the requesting rank stores
+            # meta(r) locally for every r in its pivots' adjacency lists.
+            payload = [(entry[0], entry[1], entry[2]) for entry in record["adj"]]
+            for source_rank in requesters:
+                ctx.async_call(source_rank, h_pull_deliver, q, meta_q, payload)
+    world.barrier()
+
+    host_seconds = time.perf_counter() - host_start
+    phases = [DRY_RUN_PHASE, PUSH_PHASE, PULL_PHASE]
+    simulated = world.simulated_time(phases=phases)
+    return SurveyReport.from_world_stats(
+        algorithm="push_pull",
+        graph_name=graph_name or dodgr.name,
+        world_stats=world.stats,
+        simulated=simulated,
+        phases=phases,
+        host_seconds=host_seconds,
+    )
+
+
+def triangle_survey(
+    dodgr: DODGraph,
+    callback: Optional[TriangleCallback] = None,
+    algorithm: str = "push_pull",
+    **kwargs: Any,
+) -> SurveyReport:
+    """Dispatch to the requested survey algorithm (``"push"`` or ``"push_pull"``)."""
+    if algorithm == "push":
+        from .survey import triangle_survey_push
+
+        return triangle_survey_push(dodgr, callback, **kwargs)
+    if algorithm == "push_pull":
+        return triangle_survey_push_pull(dodgr, callback, **kwargs)
+    raise ValueError(f"unknown survey algorithm {algorithm!r}")

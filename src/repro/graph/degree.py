@@ -1,0 +1,56 @@
+"""Degree ordering used to build the degree-ordered directed graph (DODGr).
+
+Section 3 defines the total order ``u <+ v`` as
+
+* ``d(u) < d(v)``, or
+* ``d(u) == d(v)`` and ``hash(u) < hash(v)``
+
+with a deterministic tie-breaking hash.  This reproduction additionally
+breaks exact hash collisions by the vertex id itself so the relation is a
+strict total order even on adversarial inputs (the C++ code relies on a
+collision-free 64-bit hash of distinct ids; in Python we make the guarantee
+explicit).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Mapping, Tuple
+
+from ..runtime.world import stable_hash
+
+__all__ = ["order_key", "precedes", "DegreeOrder"]
+
+
+def order_key(vertex: Hashable, degree: int) -> Tuple[int, int, str]:
+    """Sort key implementing the ``<+`` comparison for a vertex of known degree."""
+    return (degree, stable_hash(vertex), repr(vertex))
+
+
+def precedes(u: Hashable, du: int, v: Hashable, dv: int) -> bool:
+    """True when ``u <+ v`` under the degree ordering."""
+    return order_key(u, du) < order_key(v, dv)
+
+
+class DegreeOrder:
+    """Convenience wrapper around a degree table implementing ``<+`` queries."""
+
+    def __init__(self, degrees: Mapping[Hashable, int]) -> None:
+        self.degrees: Dict[Hashable, int] = dict(degrees)
+
+    def degree(self, vertex: Hashable) -> int:
+        return self.degrees.get(vertex, 0)
+
+    def key(self, vertex: Hashable) -> Tuple[int, int, str]:
+        return order_key(vertex, self.degree(vertex))
+
+    def precedes(self, u: Hashable, v: Hashable) -> bool:
+        return self.key(u) < self.key(v)
+
+    def sorted_vertices(self, vertices: Iterable[Hashable]) -> list:
+        return sorted(vertices, key=self.key)
+
+    def max_vertex(self, vertices: Iterable[Hashable]) -> Any:
+        return max(vertices, key=self.key)
+
+    def min_vertex(self, vertices: Iterable[Hashable]) -> Any:
+        return min(vertices, key=self.key)

@@ -1,0 +1,141 @@
+"""Directed-graph support: original-direction annotations on symmetrized edges.
+
+Section 4 of the paper notes that although TriPoll treats inputs as
+undirected (its algorithms run on the degree-ordered orientation G+, not on
+the input orientation), directed graphs are supported by symmetrizing the
+input and keeping "an additional two bits of storage" per edge recording the
+original directionality — *as-seen*, *reversed*, or *bidirectional* — so that
+callbacks can still reason about direction (e.g. "who messaged whom first").
+
+This module implements that preparation step: it converts a directed edge
+stream into undirected records whose metadata wraps the user's edge metadata
+together with the original orientation, plus helpers for callbacks to query
+the direction between any two vertices of a triangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..runtime.serialization import register_record
+from .edge_list import canonical_pair
+
+__all__ = [
+    "EdgeDirection",
+    "DirectedEdgeMeta",
+    "symmetrize_directed_edges",
+    "direction_between",
+    "original_edge_meta",
+]
+
+
+class EdgeDirection(str, Enum):
+    """Original orientation of a symmetrized edge, relative to canonical order.
+
+    The canonical order of an undirected pair is ``canonical_pair(u, v)``;
+    ``FORWARD`` means the input contained exactly the edge (lo -> hi),
+    ``REVERSED`` means it contained exactly (hi -> lo), ``BIDIRECTIONAL``
+    means both directions were present.
+    """
+
+    FORWARD = "forward"
+    REVERSED = "reversed"
+    BIDIRECTIONAL = "bidirectional"
+
+
+@dataclass(frozen=True)
+class DirectedEdgeMeta:
+    """Edge metadata wrapper carrying the original direction.
+
+    ``meta`` is the user's metadata for the edge (for bidirectional pairs the
+    forward direction's metadata wins and the reverse direction's metadata is
+    kept in ``reverse_meta``).
+    """
+
+    direction: str
+    meta: Any = None
+    reverse_meta: Any = None
+
+
+# Direction-annotated metadata travels inside push/pull messages, so the
+# wrapper must be known to the wire codec on every rank.
+register_record(DirectedEdgeMeta)
+
+
+def symmetrize_directed_edges(
+    records: Iterable[Tuple[Hashable, Hashable] | Tuple[Hashable, Hashable, Any]],
+    drop_self_loops: bool = True,
+) -> List[Tuple[Hashable, Hashable, DirectedEdgeMeta]]:
+    """Turn a directed edge stream into undirected records with direction labels.
+
+    Parallel edges in the same direction keep the first metadata seen.  The
+    output contains one record per unordered pair, oriented canonically, with
+    a :class:`DirectedEdgeMeta` payload.
+    """
+    forward: Dict[Tuple[Hashable, Hashable], Any] = {}
+    backward: Dict[Tuple[Hashable, Hashable], Any] = {}
+    order: List[Tuple[Hashable, Hashable]] = []
+    seen = set()
+    for record in records:
+        if len(record) == 2:
+            u, v = record  # type: ignore[misc]
+            meta = None
+        else:
+            u, v, meta = record  # type: ignore[misc]
+        if drop_self_loops and u == v:
+            continue
+        pair = canonical_pair(u, v)
+        if pair not in seen:
+            seen.add(pair)
+            order.append(pair)
+        if (u, v) == pair:
+            forward.setdefault(pair, meta)
+        else:
+            backward.setdefault(pair, meta)
+
+    out: List[Tuple[Hashable, Hashable, DirectedEdgeMeta]] = []
+    for pair in order:
+        has_forward = pair in forward
+        has_backward = pair in backward
+        if has_forward and has_backward:
+            direction = EdgeDirection.BIDIRECTIONAL.value
+            meta = forward[pair]
+            reverse_meta = backward[pair]
+        elif has_forward:
+            direction = EdgeDirection.FORWARD.value
+            meta = forward[pair]
+            reverse_meta = None
+        else:
+            direction = EdgeDirection.REVERSED.value
+            meta = backward[pair]
+            reverse_meta = None
+        out.append((pair[0], pair[1], DirectedEdgeMeta(direction, meta, reverse_meta)))
+    return out
+
+
+def direction_between(u: Hashable, v: Hashable, edge_meta: DirectedEdgeMeta) -> Optional[str]:
+    """Resolve the original direction of the edge between ``u`` and ``v``.
+
+    Returns ``"u->v"``, ``"v->u"`` or ``"both"`` according to the stored
+    annotation; ``None`` if the metadata is not a :class:`DirectedEdgeMeta`.
+    Intended for use inside survey callbacks, where the vertices arrive in
+    degree order rather than input order.
+    """
+    if not isinstance(edge_meta, DirectedEdgeMeta):
+        return None
+    lo, hi = canonical_pair(u, v)
+    if edge_meta.direction == EdgeDirection.BIDIRECTIONAL.value:
+        return "both"
+    points_lo_to_hi = edge_meta.direction == EdgeDirection.FORWARD.value
+    if (u, v) == (lo, hi):
+        return "u->v" if points_lo_to_hi else "v->u"
+    return "v->u" if points_lo_to_hi else "u->v"
+
+
+def original_edge_meta(edge_meta: Any) -> Any:
+    """Unwrap the user's metadata from a possibly direction-annotated edge."""
+    if isinstance(edge_meta, DirectedEdgeMeta):
+        return edge_meta.meta
+    return edge_meta

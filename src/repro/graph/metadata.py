@@ -1,0 +1,117 @@
+"""Metadata model for decorated temporal graphs.
+
+The paper's input model (Section 3): every vertex ``v`` carries
+``meta(v)`` and every undirected edge ``(u, v)`` carries
+``meta(u, v) = meta(v, u)``.  Metadata values are arbitrary — discrete
+labels, floating-point ratings, timestamps, free-form strings — and TriPoll
+deliberately does not interpret them; only user callbacks do.
+
+In this reproduction a metadata value is *any value the runtime codec can
+serialize* (scalars, strings, tuples, dicts, registered dataclasses).  This
+module provides:
+
+* :class:`TriangleMetadata` — the six pieces of metadata (plus the vertex
+  ids) handed to a survey callback when a triangle ``Δpqr`` is identified,
+  with ``p <+ q <+ r`` in degree order.
+* small typed conveniences for common decorations (temporal edges, labelled
+  vertices) used by the examples and generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+__all__ = [
+    "TriangleMetadata",
+    "temporal_edge_meta",
+    "labeled_vertex_meta",
+    "edge_timestamp",
+    "vertex_label",
+]
+
+
+@dataclass(frozen=True)
+class TriangleMetadata:
+    """Everything a survey callback may inspect about one triangle Δpqr.
+
+    Vertices satisfy the degree ordering ``p <+ q <+ r`` (Section 3), so
+    callbacks that care about pivot/anchor roles can rely on the order.
+    """
+
+    #: vertex identifiers in degree order (p is the pivot / lowest degree)
+    p: Any
+    q: Any
+    r: Any
+    #: vertex metadata
+    meta_p: Any
+    meta_q: Any
+    meta_r: Any
+    #: edge metadata; ``meta_pq`` is the metadata of the undirected edge (p, q)
+    meta_pq: Any
+    meta_pr: Any
+    meta_qr: Any
+
+    def vertices(self) -> Tuple[Any, Any, Any]:
+        return (self.p, self.q, self.r)
+
+    def vertex_metadata(self) -> Tuple[Any, Any, Any]:
+        return (self.meta_p, self.meta_q, self.meta_r)
+
+    def edge_metadata(self) -> Tuple[Any, Any, Any]:
+        return (self.meta_pq, self.meta_pr, self.meta_qr)
+
+    def all_distinct_vertex_metadata(self) -> bool:
+        """True when the three vertex metadata values are pairwise distinct.
+
+        This is the filter used by Algorithm 3 (max edge label distribution)
+        and Algorithm 4 / the FQDN survey ("only counting triangles with 3
+        distinct FQDNs").
+        """
+        return (
+            self.meta_p != self.meta_q
+            and self.meta_q != self.meta_r
+            and self.meta_p != self.meta_r
+        )
+
+
+# ---------------------------------------------------------------------------
+# Conventional decorations used by the examples / generators
+# ---------------------------------------------------------------------------
+
+
+def temporal_edge_meta(timestamp: float, label: Any = None) -> Any:
+    """Edge metadata for temporal graphs: a timestamp, optionally with a label.
+
+    Stored as a bare float when there is no label (the common case for the
+    Reddit experiment) to keep serialized messages small, otherwise as a
+    ``(timestamp, label)`` tuple.
+    """
+    if label is None:
+        return float(timestamp)
+    return (float(timestamp), label)
+
+
+def edge_timestamp(edge_meta: Any) -> float:
+    """Extract the timestamp from metadata produced by :func:`temporal_edge_meta`."""
+    if isinstance(edge_meta, tuple):
+        return float(edge_meta[0])
+    if isinstance(edge_meta, dict):
+        return float(edge_meta["timestamp"])
+    return float(edge_meta)
+
+
+def labeled_vertex_meta(label: Any, **extra: Any) -> Any:
+    """Vertex metadata carrying a discrete label plus optional named fields."""
+    if not extra:
+        return label
+    meta = {"label": label}
+    meta.update(extra)
+    return meta
+
+
+def vertex_label(vertex_meta: Any) -> Any:
+    """Extract the label from metadata produced by :func:`labeled_vertex_meta`."""
+    if isinstance(vertex_meta, dict):
+        return vertex_meta.get("label")
+    return vertex_meta

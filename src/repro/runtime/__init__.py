@@ -1,0 +1,70 @@
+"""Simulated distributed runtime (YGM + MPI stand-in) used by TriPoll.
+
+The public surface mirrors the pieces of the C++ stack the paper describes:
+
+* :class:`~repro.runtime.world.World` / :class:`~repro.runtime.world.RankContext`
+  — the MPI world and the per-rank YGM communicator (buffered,
+  fire-and-forget async RPC with termination-detecting barriers).
+* :mod:`~repro.runtime.serialization` — the cereal-style codec whose byte
+  counts define simulated communication volume.
+* :mod:`~repro.runtime.message_buffer` — YGM message aggregation.
+* :mod:`~repro.runtime.network_model` — the latency/bandwidth cost model that
+  converts measured counters into simulated wall-clock time.
+* :mod:`~repro.runtime.reductions` — All_Reduce-style collectives.
+"""
+
+from .message_buffer import DEFAULT_FLUSH_THRESHOLD, BufferBank, MessageBuffer
+from .network_model import CATALYST_LIKE, CostModel, PhaseTime, SimulatedTime, simulate_time
+from .reductions import (
+    all_reduce,
+    all_reduce_max,
+    all_reduce_min,
+    all_reduce_sum,
+    broadcast,
+    gather,
+    reduce_dicts,
+)
+from .rpc import RpcError, RpcHandle, RpcRegistry
+from .serialization import (
+    SerializationError,
+    dumps,
+    loads,
+    register_record,
+    serialized_size,
+)
+from .stats import DEFAULT_PHASE, PhaseStats, RankStats, WorldStats
+from .world import RankContext, World, WorldError, stable_hash
+
+__all__ = [
+    "World",
+    "RankContext",
+    "WorldError",
+    "stable_hash",
+    "RpcRegistry",
+    "RpcHandle",
+    "RpcError",
+    "SerializationError",
+    "dumps",
+    "loads",
+    "register_record",
+    "serialized_size",
+    "BufferBank",
+    "MessageBuffer",
+    "DEFAULT_FLUSH_THRESHOLD",
+    "CostModel",
+    "CATALYST_LIKE",
+    "SimulatedTime",
+    "PhaseTime",
+    "simulate_time",
+    "PhaseStats",
+    "RankStats",
+    "WorldStats",
+    "DEFAULT_PHASE",
+    "all_reduce",
+    "all_reduce_sum",
+    "all_reduce_max",
+    "all_reduce_min",
+    "reduce_dicts",
+    "broadcast",
+    "gather",
+]

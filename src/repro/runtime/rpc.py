@@ -1,0 +1,132 @@
+"""Remote procedure call registry for the simulated YGM communicator.
+
+YGM messages have three components: a function to execute, serialized
+arguments, and a destination MPI rank.  In the C++ implementation the
+"function" is a lambda whose address offset is exchanged between sender and
+receiver (all ranks run the same binary, so offsets are meaningful after
+adjusting for ASLR).  In this simulated runtime every rank lives in one
+Python process, so the equivalent of "same binary everywhere" is a shared
+:class:`RpcRegistry` mapping small integer handler ids to Python callables.
+
+Only the handler *id* and the serialized arguments travel across the
+simulated wire, so the byte accounting matches the C++ system: a fixed-size
+function reference plus variable-length arguments.
+
+Handlers receive the destination rank's context object as their first
+argument, mirroring YGM's convention of lambdas receiving a pointer to the
+local communicator/data structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .serialization import dumps, loads
+
+__all__ = ["RpcRegistry", "RpcHandle", "RpcError"]
+
+
+class RpcError(Exception):
+    """Raised for unknown handlers or malformed RPC payloads."""
+
+
+class RpcHandle:
+    """A lightweight reference to a registered handler.
+
+    Instances compare equal by id and can be used directly as the ``func``
+    argument of :meth:`repro.runtime.world.RankContext.async_call`.
+    """
+
+    __slots__ = ("registry", "handler_id", "name")
+
+    def __init__(self, registry: "RpcRegistry", handler_id: int, name: str) -> None:
+        self.registry = registry
+        self.handler_id = handler_id
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RpcHandle({self.handler_id}, {self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RpcHandle)
+            and other.registry is self.registry
+            and other.handler_id == self.handler_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.registry), self.handler_id))
+
+
+class RpcRegistry:
+    """Maps handler names/callables to dense integer ids shared by all ranks."""
+
+    def __init__(self) -> None:
+        self._handlers: List[Callable[..., Any]] = []
+        self._by_name: Dict[str, int] = {}
+        self._by_callable: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._handlers)
+
+    # ------------------------------------------------------------------
+    def register(self, func: Callable[..., Any], name: Optional[str] = None) -> RpcHandle:
+        """Register ``func`` and return its handle.
+
+        Registering the same callable twice returns the same handle.  Names
+        must be unique; by default the callable's qualified name plus a
+        uniquifying suffix is used, so anonymous lambdas can be registered
+        without collisions.
+        """
+        key = id(func)
+        existing = self._by_callable.get(key)
+        if existing is not None:
+            return RpcHandle(self, existing, self._handler_name(existing))
+        if name is None:
+            base = getattr(func, "__qualname__", "handler")
+            name = f"{base}#{len(self._handlers)}"
+        if name in self._by_name:
+            raise RpcError(f"handler name {name!r} already registered")
+        handler_id = len(self._handlers)
+        self._handlers.append(func)
+        self._by_name[name] = handler_id
+        self._by_callable[key] = handler_id
+        return RpcHandle(self, handler_id, name)
+
+    def resolve(self, func_or_handle: Callable[..., Any] | RpcHandle) -> RpcHandle:
+        """Return the handle for ``func_or_handle``, registering if needed."""
+        if isinstance(func_or_handle, RpcHandle):
+            if func_or_handle.registry is not self:
+                raise RpcError("handle belongs to a different registry")
+            return func_or_handle
+        return self.register(func_or_handle)
+
+    def handler(self, handler_id: int) -> Callable[..., Any]:
+        try:
+            return self._handlers[handler_id]
+        except IndexError as exc:
+            raise RpcError(f"unknown handler id {handler_id}") from exc
+
+    def _handler_name(self, handler_id: int) -> str:
+        for name, hid in self._by_name.items():
+            if hid == handler_id:
+                return name
+        return f"handler#{handler_id}"
+
+    # ------------------------------------------------------------------
+    def encode_call(self, handle: RpcHandle, args: Tuple[Any, ...]) -> bytes:
+        """Serialize an RPC invocation into a wire payload."""
+        return dumps((handle.handler_id, list(args)))
+
+    def decode_call(self, payload: bytes) -> Tuple[Callable[..., Any], List[Any]]:
+        """Decode a wire payload into (handler, argument list)."""
+        try:
+            decoded = loads(payload)
+        except Exception as exc:  # noqa: BLE001 - surface as RpcError
+            raise RpcError(f"malformed RPC payload: {exc}") from exc
+        if not isinstance(decoded, tuple) or len(decoded) != 2:
+            raise RpcError("malformed RPC payload: expected (handler_id, args)")
+        handler_id, args = decoded
+        if not isinstance(handler_id, int) or not isinstance(args, list):
+            raise RpcError("malformed RPC payload: bad handler id or args")
+        return self.handler(handler_id), args

@@ -1,0 +1,315 @@
+"""The simulated distributed world: virtual ranks, buffered async RPC, barriers.
+
+TriPoll runs as an SPMD MPI program: every rank owns a partition of the
+graph, iterates over its local vertices, and fires asynchronous
+remote-procedure calls at the owners of neighbouring vertices; YGM keeps
+delivering and executing messages until the world is quiescent, at which
+point a barrier completes.
+
+This module provides the equivalent substrate for a single Python process:
+
+* :class:`World` owns ``nranks`` virtual ranks, a shared RPC registry (the
+  "same binary on every rank" assumption), per-rank inboxes and per-rank
+  outgoing buffer banks.
+* :class:`RankContext` is the per-rank communicator handed to algorithms.
+  Its :meth:`RankContext.async_call` mirrors ``ygm::comm::async``: serialize
+  the arguments, buffer them for the destination rank, and return
+  immediately (fire-and-forget).
+* :meth:`World.barrier` flushes all buffers and processes messages (which may
+  generate further messages) until global quiescence, exactly like YGM's
+  termination-detecting barrier.
+
+Delivery order is deterministic (round-robin over ranks, FIFO per rank) so
+every run of an algorithm on the same inputs produces identical results and
+identical communication statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequence
+
+from .message_buffer import DEFAULT_FLUSH_THRESHOLD, BufferBank, BufferedMessage
+from .network_model import CATALYST_LIKE, CostModel, SimulatedTime, simulate_time
+from .rpc import RpcHandle, RpcRegistry
+from .stats import WorldStats
+
+__all__ = ["World", "RankContext", "WorldError", "stable_hash"]
+
+
+class WorldError(Exception):
+    """Raised for invalid world operations (bad ranks, re-entrant barriers, ...)."""
+
+
+class RankContext:
+    """The per-rank view of the simulated world (a YGM communicator).
+
+    Algorithms and distributed containers receive a :class:`RankContext` when
+    they execute code "on" a rank: driver loops iterate over
+    ``world.ranks``, and RPC handlers receive the destination rank's context
+    as their first argument.
+    """
+
+    def __init__(self, world: "World", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.stats = world.stats.ranks[rank]
+        self.buffers = BufferBank(
+            rank,
+            world.nranks,
+            self.stats,
+            deliver=world._enqueue_messages,
+            flush_threshold_bytes=world.flush_threshold_bytes,
+            ranks_per_node=world.ranks_per_node,
+        )
+        #: scratch storage for containers / graph structures keyed by object id
+        self.local_state: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def nranks(self) -> int:
+        return self.world.nranks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RankContext(rank={self.rank}, nranks={self.nranks})"
+
+    # ------------------------------------------------------------------
+    def async_call(self, dest: int, func: Callable[..., Any] | RpcHandle, *args: Any) -> None:
+        """Fire-and-forget RPC: run ``func(dest_ctx, *args)`` on rank ``dest``.
+
+        The arguments are serialized immediately (so mutating them afterwards
+        has no effect on the receiver, matching MPI semantics) and buffered;
+        the call returns without waiting for execution.
+        """
+        handle = self.world.registry.resolve(func)
+        payload = self.world.registry.encode_call(handle, args)
+        self.buffers.send(dest, payload)
+
+    def local_call(self, func: Callable[..., Any] | RpcHandle, *args: Any) -> None:
+        """Convenience wrapper for an async call targeting this rank."""
+        self.async_call(self.rank, func, *args)
+
+    # ------------------------------------------------------------------
+    def add_compute(self, units: int) -> None:
+        """Account abstract local computation (merge comparisons, hash probes)."""
+        self.stats.current.compute_units += units
+
+    def add_counter(self, name: str, amount: int = 1) -> None:
+        """Accumulate an application-level counter in the current phase."""
+        self.stats.current.add_app(name, amount)
+
+    def owner_of(self, key: Any) -> int:
+        """Deterministic owner rank of a hashable key (stable across runs)."""
+        return self.world.owner_of(key)
+
+
+class World:
+    """A simulated cluster of ``nranks`` cooperating virtual ranks."""
+
+    def __init__(
+        self,
+        nranks: int,
+        flush_threshold_bytes: int = DEFAULT_FLUSH_THRESHOLD,
+        cost_model: CostModel = CATALYST_LIKE,
+        ranks_per_node: int = 1,
+    ) -> None:
+        """Create a simulated world.
+
+        Parameters
+        ----------
+        nranks:
+            Number of virtual MPI ranks.
+        flush_threshold_bytes:
+            YGM buffer capacity per destination before an automatic flush.
+        cost_model:
+            Machine parameters used by :meth:`simulated_time`.
+        ranks_per_node:
+            When > 1, outgoing buffers are shared by all destination ranks
+            hosted on the same simulated compute node (node-level message
+            aggregation — the improvement Section 5.4 of the paper proposes
+            for the many-small-messages regime at 256 nodes).
+        """
+        if nranks <= 0:
+            raise WorldError("world must have at least one rank")
+        if ranks_per_node < 1:
+            raise WorldError("ranks_per_node must be at least 1")
+        self.nranks = nranks
+        self.flush_threshold_bytes = flush_threshold_bytes
+        self.cost_model = cost_model
+        self.ranks_per_node = ranks_per_node
+        self.stats = WorldStats(nranks)
+        self.registry = RpcRegistry()
+        self._inboxes: List[Deque[BufferedMessage]] = [deque() for _ in range(nranks)]
+        self.ranks: List[RankContext] = [RankContext(self, r) for r in range(nranks)]
+        self._phase_order: List[str] = []
+        self._in_delivery = False
+        self._structure_names: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"World(nranks={self.nranks})"
+
+    def rank(self, r: int) -> RankContext:
+        if r < 0 or r >= self.nranks:
+            raise WorldError(f"rank {r} out of range [0, {self.nranks})")
+        return self.ranks[r]
+
+    def owner_of(self, key: Any) -> int:
+        """Deterministic hash-based owner rank for a key.
+
+        Python's built-in ``hash`` of ints is the identity, which would turn a
+        cyclic vertex-id space into a perfectly regular assignment; mixing
+        through a multiplicative hash keeps ownership pseudo-random the way a
+        real distributed hash map behaves, while staying deterministic across
+        runs (no ``PYTHONHASHSEED`` dependence for ints/tuples of ints).
+        """
+        return stable_hash(key) % self.nranks
+
+    # ------------------------------------------------------------------
+    def register_handler(
+        self, func: Callable[..., Any], name: Optional[str] = None
+    ) -> RpcHandle:
+        """Register an RPC handler shared by every rank."""
+        return self.registry.register(func, name)
+
+    def unique_name(self, base: str) -> str:
+        """Return a world-unique name for a distributed structure.
+
+        Distributed structures (maps, graphs, edge lists, ...) use their name
+        both for per-rank storage slots and for RPC handler names, so two
+        structures on the same world must never share one.  The first user of
+        a base name gets it verbatim; later users get ``base~2``, ``base~3``,
+        and so on — mirroring how one would suffix duplicate container names
+        in an SPMD program.
+        """
+        count = self._structure_names.get(base, 0) + 1
+        self._structure_names[base] = count
+        return base if count == 1 else f"{base}~{count}"
+
+    # ------------------------------------------------------------------
+    def begin_phase(self, name: str) -> None:
+        """Start a named measurement phase on every rank."""
+        if name not in self._phase_order:
+            self._phase_order.append(name)
+        self.stats.begin_phase(name)
+
+    @property
+    def phase_order(self) -> List[str]:
+        return list(self._phase_order)
+
+    # ------------------------------------------------------------------
+    def _enqueue_messages(self, messages: Iterable[BufferedMessage]) -> None:
+        for msg in messages:
+            self._inboxes[msg.dest].append(msg)
+
+    def _execute_message(self, msg: BufferedMessage) -> None:
+        ctx = self.ranks[msg.dest]
+        phase = ctx.stats.current
+        phase.rpcs_executed += 1
+        if msg.source != msg.dest:
+            phase.bytes_received += len(msg.payload)
+        handler, args = self.registry.decode_call(msg.payload)
+        handler(ctx, *args)
+
+    def _drain_inboxes(self) -> bool:
+        """Deliver every queued message (handlers may queue more). Returns
+        True if at least one message was executed."""
+        progressed = False
+        while True:
+            any_delivered = False
+            for rank in range(self.nranks):
+                inbox = self._inboxes[rank]
+                # Drain a snapshot of the queue; newly generated local
+                # messages are picked up on the next sweep, keeping the
+                # round-robin fair across ranks.
+                for _ in range(len(inbox)):
+                    msg = inbox.popleft()
+                    self._execute_message(msg)
+                    any_delivered = True
+                    progressed = True
+            if not any_delivered:
+                return progressed
+
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Flush all buffers and process messages until global quiescence."""
+        if self._in_delivery:
+            raise WorldError("barrier() cannot be called from inside an RPC handler")
+        self._in_delivery = True
+        try:
+            while True:
+                self._drain_inboxes()
+                flushed_any = False
+                for ctx in self.ranks:
+                    if ctx.buffers.pending_messages() > 0:
+                        ctx.buffers.flush_all()
+                        flushed_any = True
+                if not flushed_any and not any(self._inboxes):
+                    break
+        finally:
+            self._in_delivery = False
+        self.stats.barriers += 1
+
+    # ------------------------------------------------------------------
+    def for_each_rank(self, fn: Callable[..., Any], *args: Any) -> List[Any]:
+        """Run ``fn(ctx, *args)`` on every rank (driver-side SPMD loop)."""
+        return [fn(ctx, *args) for ctx in self.ranks]
+
+    def superstep(self, fn: Callable[..., Any], *args: Any) -> List[Any]:
+        """Run ``fn`` on every rank, then complete a barrier."""
+        results = self.for_each_rank(fn, *args)
+        self.barrier()
+        return results
+
+    # ------------------------------------------------------------------
+    def simulated_time(
+        self, phases: Optional[Sequence[str]] = None, model: Optional[CostModel] = None
+    ) -> SimulatedTime:
+        """Convert the accumulated counters into simulated wall-clock time."""
+        return simulate_time(
+            self.stats,
+            model=model if model is not None else self.cost_model,
+            phases=phases if phases is not None else self._phase_order or None,
+        )
+
+    def reset_stats(self) -> None:
+        """Clear all counters and phase bookkeeping (keeps data structures)."""
+        self.stats.reset()
+        self._phase_order = []
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic non-cryptographic hash for keys used in ownership maps.
+
+    Integers are mixed with a 64-bit Fibonacci/xor hash; strings and bytes use
+    FNV-1a; tuples combine their elements.  The result is a non-negative int
+    that is stable across processes and Python versions, which keeps the
+    simulated partitioning (and therefore all measured communication volumes)
+    reproducible.
+    """
+    if isinstance(key, bool):
+        return 0x9E3779B97F4A7C15 if key else 0x517CC1B727220A95
+    if isinstance(key, int):
+        x = key & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+        return (x ^ (x >> 31)) & 0x7FFFFFFFFFFFFFFF
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    if isinstance(key, (bytes, bytearray)):
+        h = 0xCBF29CE484222325
+        for byte in key:
+            h ^= byte
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return h & 0x7FFFFFFFFFFFFFFF
+    if isinstance(key, float):
+        return stable_hash(hash(key))
+    if isinstance(key, tuple):
+        h = 0x345678DEADBEEF
+        for item in key:
+            h = (h * 1000003) & 0xFFFFFFFFFFFFFFFF
+            h ^= stable_hash(item)
+        return h & 0x7FFFFFFFFFFFFFFF
+    if key is None:
+        return 0x6A09E667F3BCC908
+    raise TypeError(f"cannot stably hash value of type {type(key).__qualname__}")

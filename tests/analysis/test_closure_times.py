@@ -1,0 +1,73 @@
+"""Tests for the closure-time analysis (Section 5.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import describe_bucket, run_closure_time_survey
+from repro.graph import (
+    DistributedEdgeList,
+    DistributedGraph,
+    reddit_like_temporal_graph,
+    serial_triangle_count,
+)
+from repro.runtime import World
+
+
+@pytest.fixture(scope="module")
+def reddit_graph_world():
+    world = World(8)
+    raw = reddit_like_temporal_graph(400, 5000, seed=21)
+    el = DistributedEdgeList(world)
+    el.extend(raw.edges)
+    simple = el.simplify("earliest")
+    graph = DistributedGraph.from_edge_list(simple)
+    return world, graph, simple
+
+
+class TestClosureSurvey:
+    def test_surveys_every_triangle(self, reddit_graph_world):
+        _, graph, simple = reddit_graph_world
+        result = run_closure_time_survey(graph)
+        expected = serial_triangle_count(list(simple.records()))
+        assert result.report.triangles == expected
+        assert result.triangles_surveyed() == expected
+
+    def test_joint_distribution_above_diagonal(self, reddit_graph_world):
+        _, graph, _ = reddit_graph_world
+        result = run_closure_time_survey(graph)
+        assert all(close >= open_ for (open_, close) in result.joint)
+        assert result.fraction_above_diagonal() > 0.5
+
+    def test_marginals_sum_to_joint(self, reddit_graph_world):
+        _, graph, _ = reddit_graph_world
+        result = run_closure_time_survey(graph)
+        assert sum(result.closing.values()) == sum(result.joint.values())
+        assert sum(result.opening.values()) == sum(result.joint.values())
+
+    def test_median_closing_bucket_reasonable(self, reddit_graph_world):
+        _, graph, _ = reddit_graph_world
+        result = run_closure_time_survey(graph)
+        # Human-timescale closures: between ~minutes and ~years in log2 seconds.
+        assert 5 <= result.median_closing_bucket() <= 32
+
+    def test_push_and_push_pull_agree(self, reddit_graph_world):
+        _, graph, _ = reddit_graph_world
+        a = run_closure_time_survey(graph, algorithm="push")
+        b = run_closure_time_survey(graph, algorithm="push_pull")
+        assert a.joint == b.joint
+
+    def test_unknown_algorithm_rejected(self, reddit_graph_world):
+        _, graph, _ = reddit_graph_world
+        with pytest.raises(ValueError):
+            run_closure_time_survey(graph, algorithm="bogus")
+
+
+class TestDescribeBucket:
+    def test_small_buckets(self):
+        assert describe_bucket(0) == "<= 1 second"
+        assert describe_bucket(-3) == "<= 1 second"
+
+    def test_larger_buckets_mention_power_of_two(self):
+        assert "2^12" in describe_bucket(12)
+        assert "hour" in describe_bucket(12)

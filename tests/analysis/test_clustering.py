@@ -1,0 +1,64 @@
+"""Tests for clustering-coefficient and truss-support analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_clustering_coefficients, run_truss_support
+from repro.baselines import clustering_coefficients_nx, triangle_count_nx
+from repro.graph import DistributedGraph
+from repro.runtime import World
+
+
+class TestClusteringCoefficients:
+    def test_matches_networkx(self, small_er):
+        world = World(4)
+        graph = small_er.to_distributed(world)
+        result = run_clustering_coefficients(graph)
+        expected = clustering_coefficients_nx(small_er.edges)
+        assert set(result.coefficients) == set(expected)
+        for vertex, value in expected.items():
+            assert result.coefficients[vertex] == pytest.approx(value)
+
+    def test_average_and_global_triangles(self, small_er):
+        world = World(4)
+        graph = small_er.to_distributed(world)
+        result = run_clustering_coefficients(graph)
+        assert result.global_triangles() == triangle_count_nx(small_er.edges)
+        assert 0.0 <= result.average_clustering() <= 1.0
+
+    def test_clique_has_coefficient_one(self, world4):
+        k5 = [(a, b) for a in range(5) for b in range(a + 1, 5)]
+        graph = DistributedGraph.from_edges(world4, k5)
+        result = run_clustering_coefficients(graph)
+        assert all(value == pytest.approx(1.0) for value in result.coefficients.values())
+
+    def test_triangle_free_graph_has_zero(self, world4):
+        graph = DistributedGraph.from_edges(world4, [(0, 1), (1, 2), (2, 3)])
+        result = run_clustering_coefficients(graph)
+        assert all(value == 0.0 for value in result.coefficients.values())
+
+
+class TestTrussSupport:
+    def test_clique_support(self, world4):
+        k4 = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        graph = DistributedGraph.from_edges(world4, k4)
+        result = run_truss_support(graph)
+        # In K4 every edge participates in exactly 2 triangles.
+        assert set(result.support.values()) == {2}
+        assert result.max_support() == 2
+        assert result.edges_with_support_at_least(2) == 6
+        assert result.edges_with_support_at_least(3) == 0
+
+    def test_support_sums_to_three_per_triangle(self, small_er):
+        world = World(4)
+        graph = small_er.to_distributed(world)
+        result = run_truss_support(graph)
+        assert sum(result.support.values()) == 3 * triangle_count_nx(small_er.edges)
+
+    def test_push_and_push_pull_agree(self, small_er):
+        world = World(4)
+        graph = small_er.to_distributed(world)
+        a = run_truss_support(graph, algorithm="push")
+        b = run_truss_support(graph, algorithm="push_pull")
+        assert a.support == b.support

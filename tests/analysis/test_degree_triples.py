@@ -1,0 +1,51 @@
+"""Tests for the degree-triple survey (Section 5.9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import decorate_with_degrees, run_degree_triple_survey
+from repro.core import log2_bucket
+from repro.graph import DistributedGraph, serial_triangle_count
+from repro.runtime import World
+
+
+class TestDecorateWithDegrees:
+    def test_vertex_meta_becomes_degree(self, world4, small_er):
+        graph = small_er.to_distributed(world4)
+        decorated = decorate_with_degrees(graph)
+        for vertex in graph.vertices():
+            assert decorated.vertex_meta(vertex) == graph.degree(vertex)
+
+    def test_edges_preserved(self, world4, small_er):
+        graph = small_er.to_distributed(world4)
+        decorated = decorate_with_degrees(graph)
+        assert decorated.num_undirected_edges() == graph.num_undirected_edges()
+        assert decorated.num_vertices() == graph.num_vertices()
+
+
+class TestDegreeTripleSurvey:
+    def test_counts_all_triangles(self, small_rmat):
+        world = World(4)
+        graph = small_rmat.to_distributed(world)
+        result = run_degree_triple_survey(graph)
+        assert result.triangles_surveyed() == serial_triangle_count(small_rmat.edges)
+
+    def test_triple_buckets_are_sorted_by_degree_order(self, world4):
+        graph = DistributedGraph.from_edges(
+            world4, [(1, 2), (2, 3), (1, 3), (3, 4), (3, 5), (3, 6)]
+        )
+        result = run_degree_triple_survey(graph)
+        assert result.triples == {(log2_bucket(2), log2_bucket(2), log2_bucket(5)): 1}
+
+    def test_push_and_push_pull_agree(self, small_er):
+        world = World(4)
+        graph = small_er.to_distributed(world)
+        a = run_degree_triple_survey(graph, algorithm="push")
+        b = run_degree_triple_survey(graph, algorithm="push_pull")
+        assert a.triples == b.triples
+
+    def test_unknown_algorithm_rejected(self, world4, small_er):
+        graph = small_er.to_distributed(world4)
+        with pytest.raises(ValueError):
+            run_degree_triple_survey(graph, algorithm="bogus")

@@ -1,0 +1,96 @@
+"""Tests for the FQDN survey and anchor-domain post-processing (Section 5.8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import anchor_domain_slice, run_fqdn_survey
+from repro.graph import DistributedGraph, fqdn_web_graph
+from repro.runtime import World
+
+
+@pytest.fixture(scope="module")
+def fqdn_result():
+    generated = fqdn_web_graph(1500, seed=23)
+    world = World(8)
+    graph = generated.to_distributed(world)
+    result = run_fqdn_survey(graph)
+    return generated, result
+
+
+class TestFqdnSurvey:
+    def test_counts_only_distinct_fqdn_triangles(self, fqdn_result):
+        _, result = fqdn_result
+        for triple in result.triple_counts:
+            assert len(set(triple)) == 3
+
+    def test_triples_are_sorted(self, fqdn_result):
+        _, result = fqdn_result
+        for triple in result.triple_counts:
+            assert list(triple) == sorted(triple)
+
+    def test_summary_counts_consistent(self, fqdn_result):
+        _, result = fqdn_result
+        assert result.distinct_triples() == len(result.triple_counts)
+        assert result.triangles_with_distinct_fqdns() == sum(result.triple_counts.values())
+        assert result.triangles_with_distinct_fqdns() <= result.report.triangles
+
+    def test_small_hand_built_example(self, world4):
+        graph = DistributedGraph.from_edges(
+            world4,
+            [(1, 2), (2, 3), (1, 3)],
+            vertex_meta={1: "a.com", 2: "b.com", 3: "c.com"},
+        )
+        result = run_fqdn_survey(graph)
+        assert result.triple_counts == {("a.com", "b.com", "c.com"): 1}
+
+
+class TestAnchorSlice:
+    def test_anchor_partners_include_planted_brands(self, fqdn_result):
+        generated, result = fqdn_result
+        anchor = generated.params["anchor_domain"]
+        slice_ = anchor_domain_slice(result, anchor)
+        partners = dict(slice_.top_partners(10))
+        # Sister brand domains and the competitor must show up prominently
+        # (the "amazon.co.uk"/"abebooks.com" rows of Fig. 8).
+        sister_hits = sum(1 for d in generated.params["sister_domains"] if d in partners)
+        assert sister_hits >= 2
+        assert generated.params["competitor_domain"] in partners
+
+    def test_anchor_not_in_its_own_slice(self, fqdn_result):
+        generated, result = fqdn_result
+        anchor = generated.params["anchor_domain"]
+        slice_ = anchor_domain_slice(result, anchor)
+        assert anchor not in slice_.ordered_domains
+        for pair in slice_.pair_counts:
+            assert anchor not in pair
+
+    def test_matrix_is_symmetric_and_complete(self, fqdn_result):
+        generated, result = fqdn_result
+        slice_ = anchor_domain_slice(result, generated.params["anchor_domain"])
+        labels, grid = slice_.matrix()
+        assert len(labels) == len(grid)
+        total = sum(sum(row) for row in grid)
+        assert total == 2 * sum(slice_.pair_counts.values())
+        for i in range(len(labels)):
+            for j in range(len(labels)):
+                assert grid[i][j] == grid[j][i]
+
+    def test_community_ordering_groups_domains(self, fqdn_result):
+        generated, result = fqdn_result
+        slice_ = anchor_domain_slice(result, generated.params["anchor_domain"])
+        # Domains in the same community must be contiguous in the ordering.
+        seen_communities = []
+        for domain in slice_.ordered_domains:
+            community = slice_.community_of(domain)
+            if community is None:
+                continue
+            if community not in seen_communities:
+                seen_communities.append(community)
+            else:
+                assert seen_communities[-1] == community, "community blocks must be contiguous"
+
+    def test_slice_of_unknown_domain_is_empty(self, fqdn_result):
+        _, result = fqdn_result
+        slice_ = anchor_domain_slice(result, "no-such-domain.example")
+        assert slice_.pair_counts == {}

@@ -1,0 +1,89 @@
+"""Tests for the k-truss decomposition."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.analysis import truss_decomposition
+from repro.graph import DistributedGraph, clustered_web_graph
+from repro.runtime import World
+
+
+def k_truss_edges_nx(edges, k):
+    graph = nx.Graph()
+    graph.add_edges_from((u, v) for u, v, *_ in edges)
+    truss = nx.k_truss(graph, k)
+    return {frozenset(e) for e in truss.edges()}
+
+
+class TestSmallGraphs:
+    def test_single_triangle(self, world4):
+        graph = DistributedGraph.from_edges(world4, [(1, 2), (2, 3), (1, 3)])
+        result = truss_decomposition(graph)
+        assert set(result.trussness.values()) == {3}
+        assert result.max_trussness() == 3
+
+    def test_clique_trussness(self, world4):
+        k5 = [(a, b) for a in range(5) for b in range(a + 1, 5)]
+        graph = DistributedGraph.from_edges(world4, k5)
+        result = truss_decomposition(graph)
+        # Every edge of K5 belongs to the 5-truss.
+        assert set(result.trussness.values()) == {5}
+
+    def test_triangle_free_graph(self, world4):
+        graph = DistributedGraph.from_edges(world4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        result = truss_decomposition(graph)
+        assert set(result.trussness.values()) == {2}
+        assert result.k_truss_edges(3) == set()
+
+    def test_triangle_with_pendant(self, world4):
+        graph = DistributedGraph.from_edges(world4, [(1, 2), (2, 3), (1, 3), (3, 4)])
+        result = truss_decomposition(graph)
+        key = tuple(sorted((3, 4)))
+        assert result.trussness[key] == 2
+        assert result.k_truss_edges(3) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_initial_support_preserved(self, world4):
+        graph = DistributedGraph.from_edges(world4, [(1, 2), (2, 3), (1, 3), (2, 4), (3, 4)])
+        result = truss_decomposition(graph)
+        assert result.initial_support[(2, 3)] == 2
+        assert sum(result.initial_support.values()) == 3 * 2
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_k_truss_membership_matches_networkx(self, k, small_er):
+        world = World(4)
+        graph = small_er.to_distributed(world)
+        result = truss_decomposition(graph)
+        ours = {frozenset(edge) for edge in result.k_truss_edges(k)}
+        assert ours == k_truss_edges_nx(small_er.edges, k)
+
+    def test_on_clustered_web_graph(self):
+        generated = clustered_web_graph(400, seed=11)
+        world = World(4)
+        graph = generated.to_distributed(world)
+        result = truss_decomposition(graph)
+        assert len(result.trussness) == graph.num_undirected_edges()
+        for k in (3, 5):
+            ours = {frozenset(edge) for edge in result.k_truss_edges(k)}
+            assert ours == k_truss_edges_nx(generated.edges, k)
+
+    def test_truss_sizes_sum_to_edge_count(self, small_er):
+        world = World(4)
+        graph = small_er.to_distributed(world)
+        result = truss_decomposition(graph)
+        assert sum(result.truss_sizes().values()) == graph.num_undirected_edges()
+
+    def test_push_algorithm_variant(self, small_er):
+        world = World(4)
+        graph = small_er.to_distributed(world)
+        a = truss_decomposition(graph, algorithm="push")
+        b = truss_decomposition(graph, algorithm="push_pull")
+        assert a.trussness == b.trussness
+
+    def test_unknown_algorithm_rejected(self, world4, small_er):
+        graph = small_er.to_distributed(world4)
+        with pytest.raises(ValueError):
+            truss_decomposition(graph, algorithm="bogus")

@@ -1,0 +1,109 @@
+"""Tests for the distributed baseline triangle counters (Pearce, Tom 2D, TriC)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    is_perfect_square,
+    pearce_triangle_count,
+    tom2d_triangle_count,
+    tric_triangle_count,
+)
+from repro.graph import DistributedGraph, serial_triangle_count
+from repro.runtime import World
+
+
+def distribute(generated, nranks):
+    world = World(nranks)
+    return world, generated.to_distributed(world)
+
+
+class TestPearce:
+    @pytest.mark.parametrize("nranks", [1, 4, 8])
+    def test_matches_oracle(self, small_rmat, nranks):
+        _, graph = distribute(small_rmat, nranks)
+        report = pearce_triangle_count(graph)
+        assert report.triangles == serial_triangle_count(small_rmat.edges)
+
+    def test_pruning_does_not_lose_triangles(self, world4):
+        # Degree-1 pendants hang off a triangle; pruning must not break it.
+        edges = [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (5, 6)]
+        graph = DistributedGraph.from_edges(world4, edges)
+        report = pearce_triangle_count(graph)
+        assert report.triangles == 1
+
+    def test_report_phases(self, small_er):
+        _, graph = distribute(small_er, 4)
+        report = pearce_triangle_count(graph)
+        assert report.algorithm == "pearce"
+        assert report.phases == ["prune", "wedge_check"]
+        assert report.wedge_checks > 0
+
+    def test_star_graph_counts_zero(self, world4):
+        graph = DistributedGraph.from_edges(world4, [(0, i) for i in range(1, 20)])
+        assert pearce_triangle_count(graph).triangles == 0
+
+
+class TestTom2D:
+    @pytest.mark.parametrize("nranks", [1, 4, 9, 16])
+    def test_matches_oracle_on_square_worlds(self, small_rmat, nranks):
+        _, graph = distribute(small_rmat, nranks)
+        report = tom2d_triangle_count(graph)
+        assert report.triangles == serial_triangle_count(small_rmat.edges)
+
+    def test_non_square_world_rejected(self, small_er):
+        _, graph = distribute(small_er, 6)
+        with pytest.raises(ValueError):
+            tom2d_triangle_count(graph)
+
+    def test_is_perfect_square(self):
+        assert is_perfect_square(1)
+        assert is_perfect_square(64)
+        assert not is_perfect_square(2)
+        assert not is_perfect_square(63)
+
+    def test_report_phases(self, small_er):
+        _, graph = distribute(small_er, 4)
+        report = tom2d_triangle_count(graph)
+        assert report.algorithm == "tom2d"
+        assert report.phases == ["block_exchange", "block_multiply"]
+
+
+class TestTriC:
+    @pytest.mark.parametrize("nranks", [1, 4, 8])
+    def test_matches_oracle(self, small_rmat, nranks):
+        _, graph = distribute(small_rmat, nranks)
+        report = tric_triangle_count(graph)
+        assert report.triangles == serial_triangle_count(small_rmat.edges)
+
+    def test_report_phases(self, small_er):
+        _, graph = distribute(small_er, 4)
+        report = tric_triangle_count(graph)
+        assert report.algorithm == "tric"
+        assert report.phases == ["adjacency_request", "edge_intersect"]
+
+
+class TestRelativeBehaviour:
+    def test_tric_moves_more_data_than_tripoll(self, small_rmat):
+        """TriC ships adjacency lists per edge: it must be the most expensive."""
+        from repro.core import triangle_survey_push
+        from repro.graph import DODGraph
+
+        world_a = World(4)
+        graph_a = small_rmat.to_distributed(world_a)
+        tric = tric_triangle_count(graph_a)
+
+        world_b = World(4)
+        dodgr = DODGraph.build(small_rmat.to_distributed(world_b))
+        tripoll = triangle_survey_push(dodgr)
+
+        assert tric.triangles == tripoll.triangles
+        assert tric.communication_bytes > tripoll.communication_bytes
+
+    def test_all_baselines_agree_with_each_other(self, small_er):
+        counts = set()
+        for nranks, runner in ((4, pearce_triangle_count), (4, tom2d_triangle_count), (4, tric_triangle_count)):
+            _, graph = distribute(small_er, nranks)
+            counts.add(runner(graph).triangles)
+        assert len(counts) == 1

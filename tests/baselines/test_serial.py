@@ -1,0 +1,60 @@
+"""Tests for the serial triangle counting baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    edge_iterator_count,
+    forward_count,
+    local_triangle_counts,
+    node_iterator_count,
+    triangle_count_nx,
+    local_triangle_counts_nx,
+)
+from repro.graph import erdos_renyi, rmat
+
+
+COUNTERS = [node_iterator_count, forward_count, edge_iterator_count]
+
+
+class TestSerialCounters:
+    @pytest.mark.parametrize("counter", COUNTERS)
+    def test_known_graphs(self, counter):
+        triangle = [(1, 2), (2, 3), (1, 3)]
+        k4 = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        path = [(1, 2), (2, 3), (3, 4)]
+        assert counter(triangle) == 1
+        assert counter(k4) == 4
+        assert counter(path) == 0
+        assert counter([]) == 0
+
+    @pytest.mark.parametrize("counter", COUNTERS)
+    def test_against_networkx_on_random_graphs(self, counter):
+        for seed in range(3):
+            graph = erdos_renyi(40, 0.2, seed=seed)
+            assert counter(graph.edges) == triangle_count_nx(graph.edges)
+
+    @pytest.mark.parametrize("counter", COUNTERS)
+    def test_against_networkx_on_rmat(self, counter, small_rmat):
+        assert counter(small_rmat.edges) == triangle_count_nx(small_rmat.edges)
+
+    def test_all_counters_agree(self, small_er):
+        results = {counter(small_er.edges) for counter in COUNTERS}
+        assert len(results) == 1
+
+    def test_self_loops_and_parallel_edges_ignored(self):
+        edges = [(1, 2), (2, 1), (1, 1), (2, 3), (1, 3), (1, 3)]
+        for counter in COUNTERS:
+            assert counter(edges) == 1
+
+
+class TestLocalCounts:
+    def test_matches_networkx(self, small_er):
+        expected = local_triangle_counts_nx(small_er.edges)
+        ours = local_triangle_counts(small_er.edges)
+        assert ours == expected
+
+    def test_sum_is_three_times_triangle_count(self, small_rmat):
+        counts = local_triangle_counts(small_rmat.edges)
+        assert sum(counts.values()) == 3 * forward_count(small_rmat.edges)

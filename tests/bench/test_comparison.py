@@ -1,0 +1,46 @@
+"""Tests for the cross-system comparison driver (Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import compare_systems
+from repro.graph import erdos_renyi, serial_triangle_count
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return erdos_renyi(70, 0.15, seed=33, name="er70")
+
+
+class TestCompareSystems:
+    def test_all_systems_agree_on_triangle_count(self, dataset):
+        result = compare_systems(dataset, nodes=4)
+        expected = serial_triangle_count(dataset.edges)
+        assert result.agreeing_triangle_count() == expected
+        for entry in result.systems:
+            assert entry.skipped is None
+            assert entry.triangles == expected
+            assert entry.simulated_seconds > 0
+
+    def test_tom2d_skipped_on_non_square_world(self, dataset):
+        result = compare_systems(dataset, nodes=6, systems=("tripoll_push", "tom2d"))
+        by_system = result.by_system()
+        assert by_system["tripoll_push"].skipped is None
+        assert by_system["tom2d"].skipped is not None
+        assert by_system["tom2d"].report is None
+        assert result.agreeing_triangle_count() == serial_triangle_count(dataset.edges)
+
+    def test_speedup_over(self, dataset):
+        result = compare_systems(dataset, nodes=4, systems=("tripoll_push_pull", "tric"))
+        speedup = result.speedup_over("tripoll_push_pull", "tric")
+        assert speedup is not None and speedup > 0
+        assert result.speedup_over("tripoll_push_pull", "missing") is None
+
+    def test_unknown_system_recorded_as_skipped(self, dataset):
+        result = compare_systems(dataset, nodes=4, systems=("tripoll_push", "imaginary"))
+        assert result.by_system()["imaginary"].skipped is not None
+
+    def test_subset_of_systems(self, dataset):
+        result = compare_systems(dataset, nodes=4, systems=("pearce",))
+        assert [entry.system for entry in result.systems] == ["pearce"]

@@ -1,0 +1,77 @@
+"""Tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+from repro.bench import (
+    format_histogram,
+    format_kv,
+    format_matrix,
+    format_series,
+    format_table,
+    human_bytes,
+    human_count,
+)
+
+
+class TestHumanFormats:
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512 B"
+        assert "KB" in human_bytes(2048)
+        assert "MB" in human_bytes(5 * 1024**2)
+        assert "GB" in human_bytes(3 * 1024**3)
+
+    def test_human_count(self):
+        assert human_count(None) == "-"
+        assert human_count(950) == "950"
+        assert human_count(2_500) == "2.50K"
+        assert human_count(3_600_000) == "3.60M"
+        assert human_count(9.4e9) == "9.40B"
+        assert human_count(9.65e12) == "9.65T"
+
+
+class TestFormatTable:
+    def test_columns_aligned_and_ordered(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        text = format_table(rows, columns=["a", "b"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert len(lines) == 5
+
+    def test_missing_values_render_as_dash(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "-" in text
+
+    def test_infers_columns(self):
+        text = format_table([{"x": 1, "y": 2}])
+        assert "x" in text.splitlines()[0]
+        assert "y" in text.splitlines()[0]
+
+
+class TestOtherFormats:
+    def test_format_kv(self):
+        text = format_kv({"nodes": 4, "time": 1.25}, title="Run")
+        assert text.splitlines()[0] == "Run"
+        assert any("nodes" in line for line in text.splitlines())
+
+    def test_format_series(self):
+        text = format_series([1, 2, 4], [10.0, 5.0, 2.5], "nodes", "seconds")
+        assert "nodes" in text and "seconds" in text
+        assert len(text.splitlines()) == 5
+
+    def test_format_histogram_bars_scale(self):
+        text = format_histogram({1: 100, 2: 50, 3: 1}, title="H")
+        lines = text.splitlines()
+        assert lines[0] == "H"
+        assert lines[1].count("#") > lines[2].count("#") > 0
+
+    def test_format_histogram_empty(self):
+        assert "(empty)" in format_histogram({})
+
+    def test_format_matrix_truncates(self):
+        labels = [f"d{i}.com" for i in range(30)]
+        grid = [[i * j for j in range(30)] for i in range(30)]
+        text = format_matrix(labels, grid, max_labels=5)
+        assert "showing first 5" in text
+        assert "d0.com" in text
+        assert "d29.com" not in text

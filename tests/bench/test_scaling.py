@@ -1,0 +1,87 @@
+"""Tests for the strong/weak scaling drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_survey_at_scale, strong_scaling, weak_scaling_rmat
+from repro.core import TriangleCounter
+from repro.graph import erdos_renyi, serial_triangle_count
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return erdos_renyi(80, 0.15, seed=31, name="er80")
+
+
+class TestRunSurveyAtScale:
+    def test_point_fields(self, dataset):
+        point = run_survey_at_scale(dataset, nodes=4)
+        assert point.nodes == 4
+        assert point.report.triangles == serial_triangle_count(dataset.edges)
+        assert point.wedges > 0
+        assert point.simulated_seconds > 0
+        assert point.work_rate > 0
+
+    def test_callback_factory_is_used(self, dataset):
+        counters = []
+
+        def factory(world, graph):
+            counter = TriangleCounter(world)
+            counters.append(counter)
+            return counter.callback
+
+        point = run_survey_at_scale(dataset, nodes=4, callback_factory=factory)
+        assert counters and counters[0].result() == point.report.triangles
+
+    def test_callback_factory_with_finalize(self, dataset):
+        finalized = []
+
+        def factory(world, graph):
+            return (lambda ctx, tri: None), (lambda: finalized.append(True))
+
+        run_survey_at_scale(dataset, nodes=2, callback_factory=factory)
+        assert finalized == [True]
+
+    def test_decorate_hook(self, dataset):
+        from repro.analysis import decorate_with_degrees
+
+        point = run_survey_at_scale(dataset, nodes=2, decorate=decorate_with_degrees)
+        assert point.report.triangles == serial_triangle_count(dataset.edges)
+
+    def test_unknown_algorithm_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            run_survey_at_scale(dataset, nodes=2, algorithm="bogus")
+
+
+class TestStrongScaling:
+    def test_counts_invariant_across_node_counts(self, dataset):
+        result = strong_scaling(dataset, [1, 2, 4], algorithm="push_pull")
+        expected = serial_triangle_count(dataset.edges)
+        assert all(p.report.triangles == expected for p in result.points)
+        assert result.node_counts() == [1, 2, 4]
+
+    def test_speedups_relative_to_first(self, dataset):
+        result = strong_scaling(dataset, [1, 4], algorithm="push")
+        speedups = result.speedups()
+        assert speedups[0] == pytest.approx(1.0)
+        assert len(speedups) == 2
+
+    def test_accessors_have_one_entry_per_point(self, dataset):
+        result = strong_scaling(dataset, [2, 4], algorithm="push_pull")
+        assert len(result.phase_breakdowns()) == 2
+        assert len(result.communication_bytes()) == 2
+        assert len(result.pulls_per_rank()) == 2
+        assert len(result.work_rates()) == 2
+
+
+class TestWeakScaling:
+    def test_graph_grows_with_node_count(self):
+        result = weak_scaling_rmat([1, 2, 4], scale_per_node=7, edge_factor=4, algorithm="push")
+        wedges = [p.wedges for p in result.points]
+        assert wedges[0] < wedges[-1]
+        assert [p.nodes for p in result.points] == [1, 2, 4]
+
+    def test_work_rates_positive(self):
+        result = weak_scaling_rmat([1, 2], scale_per_node=7, edge_factor=4)
+        assert all(rate > 0 for rate in result.work_rates())

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import erdos_renyi, rmat
+from repro.runtime import World
+
+
+@pytest.fixture
+def world4() -> World:
+    """A small 4-rank simulated world."""
+    return World(4)
+
+
+@pytest.fixture
+def world8() -> World:
+    """An 8-rank simulated world."""
+    return World(8)
+
+
+@pytest.fixture(scope="session")
+def small_rmat():
+    """A small R-MAT graph with a healthy number of triangles (session cached)."""
+    return rmat(8, edge_factor=8, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_er():
+    """A small dense-ish Erdos-Renyi graph (session cached)."""
+    return erdos_renyi(60, 0.15, seed=7)

@@ -1,0 +1,96 @@
+"""Unit tests for the distributed counting set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containers import DistributedCountingSet
+from repro.runtime import World
+
+
+class TestCounting:
+    def test_counts_accumulate_across_ranks(self, world4):
+        counts = DistributedCountingSet(world4, cache_capacity=4)
+        for ctx in world4.ranks:
+            for item in ["a", "b", "a"]:
+                counts.async_increment(ctx, item)
+        counts.flush_all_caches()
+        world4.barrier()
+        assert counts.counts() == {"a": 8, "b": 4}
+        assert counts.total() == 12
+        assert counts.count_of("a") == 8
+        assert counts.count_of("missing") == 0
+
+    def test_cache_flushes_automatically_when_full(self, world4):
+        counts = DistributedCountingSet(world4, cache_capacity=2)
+        ctx = world4.ranks[0]
+        counts.async_increment(ctx, "x")
+        counts.async_increment(ctx, "y")  # second distinct item triggers flush
+        world4.barrier()
+        assert counts.counts() == {"x": 1, "y": 1}
+        assert counts.pending_cached() == 0
+
+    def test_counts_below_capacity_stay_cached_until_flush(self, world4):
+        counts = DistributedCountingSet(world4, cache_capacity=100)
+        counts.async_increment(world4.ranks[1], "z", 5)
+        world4.barrier()
+        assert counts.counts() == {}  # still cached
+        assert counts.pending_cached() == 5
+        counts.flush_all_caches()
+        world4.barrier()
+        assert counts.counts() == {"z": 5}
+
+    def test_increment_amounts_and_zero(self, world4):
+        counts = DistributedCountingSet(world4, cache_capacity=4)
+        counts.async_increment(world4.ranks[0], "k", 10)
+        counts.async_increment(world4.ranks[0], "k", 0)
+        counts.flush_all_caches()
+        world4.barrier()
+        assert counts.counts() == {"k": 10}
+
+    def test_tuple_items(self, world4):
+        """The Reddit survey counts (open bucket, close bucket) pairs."""
+        counts = DistributedCountingSet(world4, cache_capacity=8)
+        for ctx in world4.ranks:
+            counts.async_increment(ctx, (3, 7))
+            counts.async_increment(ctx, (3, 9))
+        counts.flush_all_caches()
+        world4.barrier()
+        assert counts.counts() == {(3, 7): 4, (3, 9): 4}
+
+    def test_top_k_and_distinct(self, world4):
+        counts = DistributedCountingSet(world4, cache_capacity=4)
+        ctx = world4.ranks[0]
+        for item, amount in [("a", 5), ("b", 2), ("c", 9)]:
+            counts.async_increment(ctx, item, amount)
+        counts.flush_all_caches()
+        world4.barrier()
+        assert counts.top_k(2) == [("c", 9), ("a", 5)]
+        assert counts.distinct_items() == 3
+
+    def test_clear(self, world4):
+        counts = DistributedCountingSet(world4, cache_capacity=4)
+        counts.async_increment(world4.ranks[0], "x", 3)
+        counts.flush_all_caches()
+        world4.barrier()
+        counts.clear()
+        assert counts.counts() == {}
+        assert counts.pending_cached() == 0
+
+    def test_invalid_cache_capacity_rejected(self, world4):
+        with pytest.raises(ValueError):
+            DistributedCountingSet(world4, cache_capacity=0)
+
+    def test_total_preserved_regardless_of_cache_capacity(self):
+        """The same increment stream gives the same histogram for any cache size."""
+        streams = [(rank, item) for rank in range(4) for item in [1, 2, 1, 3, 1, 2]]
+        results = []
+        for capacity in (1, 2, 64):
+            world = World(4)
+            counts = DistributedCountingSet(world, cache_capacity=capacity)
+            for rank, item in streams:
+                counts.async_increment(world.ranks[rank], item)
+            counts.flush_all_caches()
+            world.barrier()
+            results.append(counts.counts())
+        assert results[0] == results[1] == results[2] == {1: 12, 2: 8, 3: 4}

@@ -1,0 +1,76 @@
+"""Unit tests for the block-distributed array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.containers import DistributedArray
+
+
+class TestLayout:
+    def test_blocks_cover_range_exactly_once(self, world4):
+        arr = DistributedArray(world4, 10)
+        covered = []
+        for rank in range(4):
+            lo, hi = arr.local_range(rank)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(10))
+
+    def test_owner_matches_local_range(self, world4):
+        arr = DistributedArray(world4, 23)
+        for index in range(23):
+            rank = arr.owner(index)
+            lo, hi = arr.local_range(rank)
+            assert lo <= index < hi
+
+    def test_out_of_range_rejected(self, world4):
+        arr = DistributedArray(world4, 5)
+        with pytest.raises(IndexError):
+            arr.owner(5)
+        with pytest.raises(IndexError):
+            arr.owner(-1)
+
+    def test_empty_array(self, world4):
+        arr = DistributedArray(world4, 0)
+        assert len(arr) == 0
+        assert arr.gather().shape == (0,)
+
+    def test_more_ranks_than_elements(self, world8):
+        arr = DistributedArray(world8, 3, fill_value=1.0)
+        assert arr.gather().tolist() == [1.0, 1.0, 1.0]
+
+
+class TestAccess:
+    def test_get_set_item(self, world4):
+        arr = DistributedArray(world4, 8)
+        arr[5] = 2.5
+        assert arr[5] == 2.5
+        assert arr[0] == 0.0
+
+    def test_async_add_accumulates(self, world4):
+        arr = DistributedArray(world4, 16)
+        for ctx in world4.ranks:
+            for index in range(16):
+                arr.async_add(ctx, index, 0.5)
+        world4.barrier()
+        assert np.allclose(arr.gather(), np.full(16, 2.0))
+        assert arr.sum() == pytest.approx(32.0)
+
+    def test_async_set(self, world4):
+        arr = DistributedArray(world4, 4)
+        arr.async_set(world4.ranks[0], 3, 9.0)
+        world4.barrier()
+        assert arr[3] == 9.0
+
+    def test_map_local(self, world4):
+        arr = DistributedArray(world4, 12, fill_value=2.0)
+        arr.map_local(lambda block: block * 3)
+        assert np.allclose(arr.gather(), np.full(12, 6.0))
+
+    def test_integer_dtype(self, world4):
+        arr = DistributedArray(world4, 6, dtype="int64")
+        arr.async_add(world4.ranks[1], 2, 3)
+        world4.barrier()
+        assert arr.gather().dtype == np.int64
+        assert arr[2] == 3

@@ -1,0 +1,63 @@
+"""Unit tests for the distributed bag."""
+
+from __future__ import annotations
+
+from repro.containers import DistributedBag
+
+
+class TestDriverSide:
+    def test_round_robin_insertion_balances(self, world4):
+        bag = DistributedBag(world4)
+        bag.extend(range(40))
+        assert len(bag) == 40
+        assert bag.rank_sizes() == [10, 10, 10, 10]
+        assert sorted(bag.items()) == list(range(40))
+
+    def test_explicit_rank_placement(self, world4):
+        bag = DistributedBag(world4)
+        bag.insert("pinned", rank=3)
+        assert bag.local_items(3) == ["pinned"]
+
+    def test_duplicates_are_kept(self, world4):
+        bag = DistributedBag(world4)
+        bag.extend(["x", "x", "x"])
+        assert len(bag) == 3
+
+    def test_clear(self, world4):
+        bag = DistributedBag(world4)
+        bag.extend(range(5))
+        bag.clear()
+        assert len(bag) == 0
+
+    def test_rebalance_evens_out_skew(self, world4):
+        bag = DistributedBag(world4)
+        for i in range(20):
+            bag.insert(i, rank=0)
+        assert bag.rank_sizes() == [20, 0, 0, 0]
+        bag.rebalance()
+        assert bag.rank_sizes() == [5, 5, 5, 5]
+        assert sorted(bag.items()) == list(range(20))
+
+
+class TestAsyncAndForAll:
+    def test_async_insert_round_robin(self, world4):
+        bag = DistributedBag(world4)
+        for ctx in world4.ranks:
+            bag.async_insert(ctx, f"item-{ctx.rank}")
+        world4.barrier()
+        assert len(bag) == 4
+
+    def test_async_insert_explicit_destination(self, world4):
+        bag = DistributedBag(world4)
+        bag.async_insert(world4.ranks[0], "targeted", dest=2)
+        world4.barrier()
+        assert bag.local_items(2) == ["targeted"]
+
+    def test_for_all_runs_on_owning_rank(self, world4):
+        bag = DistributedBag(world4)
+        bag.extend(range(12))
+        seen = []
+        bag.for_all(lambda ctx, item: seen.append((ctx.rank, item)))
+        assert sorted(item for _, item in seen) == list(range(12))
+        for rank, item in seen:
+            assert item in bag.local_items(rank)

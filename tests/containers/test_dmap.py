@@ -1,0 +1,127 @@
+"""Unit tests for the distributed map container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containers import DistributedMap
+from repro.runtime import World
+
+
+class TestDriverSideOperations:
+    def test_insert_get_contains_erase(self, world4):
+        dmap = DistributedMap(world4)
+        dmap.insert("key", {"value": 1})
+        assert "key" in dmap
+        assert dmap.get("key") == {"value": 1}
+        dmap.erase("key")
+        assert "key" not in dmap
+        assert dmap.get("key", "missing") == "missing"
+
+    def test_size_and_items(self, world4):
+        dmap = DistributedMap(world4)
+        for i in range(50):
+            dmap.insert(i, i * i)
+        assert len(dmap) == 50
+        assert dict(dmap.items()) == {i: i * i for i in range(50)}
+        assert sorted(dmap.keys()) == list(range(50))
+
+    def test_keys_spread_over_ranks(self, world8):
+        dmap = DistributedMap(world8)
+        for i in range(400):
+            dmap.insert(i, None)
+        sizes = dmap.rank_sizes()
+        assert sum(sizes) == 400
+        assert min(sizes) > 0
+
+    def test_owner_is_stable(self, world4):
+        dmap = DistributedMap(world4)
+        assert dmap.owner("abc") == dmap.owner("abc")
+
+    def test_two_maps_are_independent(self, world4):
+        a = DistributedMap(world4, name="a")
+        b = DistributedMap(world4, name="b")
+        a.insert(1, "in-a")
+        assert 1 not in b
+        b.insert(1, "in-b")
+        assert a.get(1) == "in-a"
+        assert b.get(1) == "in-b"
+
+    def test_clear_and_gather_all(self, world4):
+        dmap = DistributedMap(world4)
+        dmap.insert("x", 1)
+        dmap.insert("y", 2)
+        assert dmap.gather_all() == {"x": 1, "y": 2}
+        dmap.clear()
+        assert len(dmap) == 0
+
+
+class TestAsyncOperations:
+    def test_async_insert_lands_on_owner(self, world4):
+        dmap = DistributedMap(world4)
+        for ctx in world4.ranks:
+            dmap.async_insert(ctx, f"from-{ctx.rank}", ctx.rank)
+        world4.barrier()
+        assert len(dmap) == 4
+        for rank in range(4):
+            key = f"from-{rank}"
+            assert key in dmap.local_store(dmap.owner(key))
+
+    def test_async_insert_if_missing_keeps_first(self, world4):
+        dmap = DistributedMap(world4)
+        dmap.async_insert_if_missing(world4.ranks[0], "k", "first")
+        world4.barrier()
+        dmap.async_insert_if_missing(world4.ranks[1], "k", "second")
+        world4.barrier()
+        assert dmap.get("k") == "first"
+
+    def test_async_erase(self, world4):
+        dmap = DistributedMap(world4)
+        dmap.insert("gone", 1)
+        dmap.async_erase(world4.ranks[2], "gone")
+        world4.barrier()
+        assert "gone" not in dmap
+
+    def test_async_visit_runs_on_owner_with_store(self, world4):
+        dmap = DistributedMap(world4)
+        observed = []
+
+        def visit(ctx, store, key, increment):
+            store[key] = store.get(key, 0) + increment
+            observed.append((ctx.rank, key))
+
+        for ctx in world4.ranks:
+            for key in range(10):
+                dmap.async_visit(ctx, key, visit, 1)
+        world4.barrier()
+        assert dmap.gather_all() == {key: 4 for key in range(10)}
+        for rank, key in observed:
+            assert rank == dmap.owner(key)
+
+    def test_register_visitor_reuse(self, world4):
+        dmap = DistributedMap(world4)
+
+        def visit(ctx, store, key, value):
+            store[key] = value
+
+        handle = dmap.register_visitor(visit)
+        dmap.async_visit(world4.ranks[0], "a", handle, 1)
+        dmap.async_visit(world4.ranks[1], "b", visit, 2)  # plain callable reuses handle
+        world4.barrier()
+        assert dmap.gather_all() == {"a": 1, "b": 2}
+
+    def test_visits_interleave_with_other_messages(self, world4):
+        """Counting-set-style updates interleave with map visits (composability)."""
+        dmap = DistributedMap(world4)
+        hits = [0] * 4
+        bump = world4.register_handler(lambda ctx: hits.__setitem__(ctx.rank, hits[ctx.rank] + 1))
+
+        def visit(ctx, store, key):
+            store[key] = True
+            ctx.async_call((ctx.rank + 1) % 4, bump)
+
+        for ctx in world4.ranks:
+            dmap.async_visit(ctx, ctx.rank * 100, visit)
+        world4.barrier()
+        assert len(dmap) == 4
+        assert sum(hits) == 4

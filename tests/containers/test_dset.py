@@ -1,0 +1,50 @@
+"""Unit tests for the distributed set."""
+
+from __future__ import annotations
+
+from repro.containers import DistributedSet
+
+
+class TestDistributedSet:
+    def test_insert_deduplicates(self, world4):
+        dset = DistributedSet(world4)
+        for _ in range(5):
+            dset.insert("only-once")
+        assert len(dset) == 1
+        assert "only-once" in dset
+
+    def test_erase(self, world4):
+        dset = DistributedSet(world4)
+        dset.insert(1)
+        dset.erase(1)
+        assert 1 not in dset
+        dset.erase(1)  # erasing a missing item is a no-op
+        assert len(dset) == 0
+
+    def test_async_insert_and_erase(self, world4):
+        dset = DistributedSet(world4)
+        for ctx in world4.ranks:
+            dset.async_insert(ctx, ("edge", ctx.rank))
+            dset.async_insert(ctx, ("edge", "shared"))
+        world4.barrier()
+        assert len(dset) == 5
+        dset.async_erase(world4.ranks[0], ("edge", "shared"))
+        world4.barrier()
+        assert len(dset) == 4
+
+    def test_items_spread_by_owner(self, world8):
+        dset = DistributedSet(world8)
+        for i in range(200):
+            dset.insert(i)
+        sizes = dset.rank_sizes()
+        assert sum(sizes) == 200
+        assert min(sizes) > 0
+        for rank in range(8):
+            for item in dset.local_items(rank):
+                assert dset.owner(item) == rank
+
+    def test_clear(self, world4):
+        dset = DistributedSet(world4)
+        dset.insert("x")
+        dset.clear()
+        assert len(dset) == 0

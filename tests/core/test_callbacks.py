@@ -1,0 +1,241 @@
+"""Tests for the callback library (Algorithms 2-4 and the survey classes)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    ClosureTimeSurvey,
+    DegreeTripleSurvey,
+    EdgeSupportCounter,
+    FqdnTripleSurvey,
+    LocalTriangleCounter,
+    MaxEdgeLabelDistribution,
+    TriangleCounter,
+    log2_bucket,
+    triangle_survey_push,
+    triangle_survey_push_pull,
+)
+from repro.baselines.networkx_ref import local_triangle_counts_nx
+from repro.graph import DODGraph, DistributedGraph, serial_triangle_count
+from repro.graph.metadata import temporal_edge_meta
+from repro.runtime import World
+
+
+def labeled_triangle_graph(world):
+    """Two triangles sharing an edge, with labels and numeric edge metadata."""
+    return DistributedGraph.from_edges(
+        world,
+        [
+            (1, 2, 5), (2, 3, 7), (1, 3, 9),      # triangle with distinct labels
+            (2, 4, 2), (3, 4, 1),                 # second triangle (2,3,4)
+        ],
+        vertex_meta={1: "red", 2: "green", 3: "blue", 4: "green"},
+    )
+
+
+class TestLog2Bucket:
+    def test_small_values_bucket_zero(self):
+        assert log2_bucket(0.0) == 0
+        assert log2_bucket(-5.0) == 0
+        assert log2_bucket(1.0) == 0
+
+    def test_powers_of_two(self):
+        assert log2_bucket(2.0) == 1
+        assert log2_bucket(1024.0) == 10
+        assert log2_bucket(1025.0) == 11
+
+    def test_matches_ceil_log2(self):
+        for value in (1.5, 3.0, 100.0, 12345.6):
+            assert log2_bucket(value) == math.ceil(math.log2(value))
+
+
+class TestTriangleCounter:
+    def test_counts_match(self, small_rmat):
+        world = World(4)
+        dodgr = DODGraph.build(small_rmat.to_distributed(world))
+        counter = TriangleCounter(world)
+        triangle_survey_push_pull(dodgr, counter.callback)
+        assert counter.result() == serial_triangle_count(small_rmat.edges)
+
+    def test_local_counts_sum_to_global(self, small_rmat):
+        world = World(4)
+        dodgr = DODGraph.build(small_rmat.to_distributed(world))
+        counter = TriangleCounter(world)
+        triangle_survey_push(dodgr, counter.callback)
+        assert sum(counter.local_count(r) for r in range(4)) == counter.result()
+
+
+class TestLocalTriangleCounter:
+    def test_per_vertex_counts_match_networkx(self, small_er):
+        world = World(4)
+        dodgr = DODGraph.build(small_er.to_distributed(world))
+        counter = LocalTriangleCounter(world, cache_capacity=16)
+        triangle_survey_push_pull(dodgr, counter.callback)
+        counter.finalize()
+        expected = {k: v for k, v in local_triangle_counts_nx(small_er.edges).items() if v > 0}
+        assert counter.result() == expected
+
+    def test_count_of_specific_vertex(self, world4):
+        graph = DistributedGraph.from_edges(world4, [(1, 2), (2, 3), (1, 3), (3, 4)])
+        counter = LocalTriangleCounter(world4)
+        triangle_survey_push(DODGraph.build(graph), counter.callback)
+        counter.finalize()
+        assert counter.count_of(1) == 1
+        assert counter.count_of(4) == 0
+
+
+class TestEdgeSupportCounter:
+    def test_supports_match_expected(self, world4):
+        graph = labeled_triangle_graph(world4)
+        counter = EdgeSupportCounter(world4)
+        triangle_survey_push_pull(DODGraph.build(graph), counter.callback)
+        counter.finalize()
+        assert counter.support(2, 3) == 2  # shared edge participates in both triangles
+        assert counter.support(1, 2) == 1
+        assert counter.support(3, 2) == 2  # orientation-independent
+        assert counter.support(1, 4) == 0
+
+    def test_total_support_is_three_per_triangle(self, small_er):
+        world = World(4)
+        counter = EdgeSupportCounter(world)
+        triangle_survey_push(DODGraph.build(small_er.to_distributed(world)), counter.callback)
+        counter.finalize()
+        total = sum(counter.result().values())
+        assert total == 3 * serial_triangle_count(small_er.edges)
+
+
+class TestMaxEdgeLabelDistribution:
+    def test_algorithm3_semantics(self, world4):
+        graph = labeled_triangle_graph(world4)
+        survey = MaxEdgeLabelDistribution(world4)
+        triangle_survey_push_pull(DODGraph.build(graph), survey.callback)
+        survey.finalize()
+        # Triangle (1,2,3): labels red/green/blue distinct -> max edge label 9.
+        # Triangle (2,3,4): labels green/blue/green not distinct -> skipped.
+        assert survey.result() == {9: 1}
+
+    def test_custom_label_extractors(self, world4):
+        graph = DistributedGraph.from_edges(
+            world4,
+            [(1, 2, {"w": 5}), (2, 3, {"w": 7}), (1, 3, {"w": 3})],
+            vertex_meta={1: {"label": "a"}, 2: {"label": "b"}, 3: {"label": "c"}},
+        )
+        survey = MaxEdgeLabelDistribution(
+            world4,
+            edge_label=lambda meta: meta["w"],
+            vertex_label=lambda meta: meta["label"],
+        )
+        triangle_survey_push(DODGraph.build(graph), survey.callback)
+        survey.finalize()
+        assert survey.result() == {7: 1}
+
+
+class TestClosureTimeSurvey:
+    def test_single_triangle_buckets(self, world4):
+        graph = DistributedGraph.from_edges(
+            world4,
+            [
+                (1, 2, temporal_edge_meta(100.0)),
+                (1, 3, temporal_edge_meta(116.0)),   # open = 16 s -> bucket 4
+                (2, 3, temporal_edge_meta(1124.0)),  # close = 1024 s -> bucket 10
+            ],
+        )
+        survey = ClosureTimeSurvey(world4)
+        triangle_survey_push_pull(DODGraph.build(graph), survey.callback)
+        survey.finalize()
+        assert survey.result() == {(4, 10): 1}
+        assert survey.closing_time_distribution() == {10: 1}
+        assert survey.opening_time_distribution() == {4: 1}
+
+    def test_closing_never_before_opening(self, world8):
+        from repro.graph import reddit_like_temporal_graph
+        from repro.graph.edge_list import DistributedEdgeList
+
+        raw = reddit_like_temporal_graph(300, 3000, seed=3)
+        el = DistributedEdgeList(world8)
+        el.extend(raw.edges)
+        graph = DistributedGraph.from_edge_list(el.simplify("earliest"))
+        survey = ClosureTimeSurvey(world8)
+        triangle_survey_push_pull(DODGraph.build(graph), survey.callback)
+        survey.finalize()
+        joint = survey.result()
+        assert joint, "expected some triangles in the temporal graph"
+        assert all(close >= open_ for (open_, close) in joint)
+
+    def test_total_counts_equal_triangles(self, world4):
+        graph = DistributedGraph.from_edges(
+            world4,
+            [
+                (1, 2, 1.0), (2, 3, 2.0), (1, 3, 3.0),
+                (3, 4, 4.0), (2, 4, 5.0),
+            ],
+        )
+        survey = ClosureTimeSurvey(world4)
+        report = triangle_survey_push(DODGraph.build(graph), survey.callback)
+        survey.finalize()
+        assert sum(survey.result().values()) == report.triangles == 2
+
+
+class TestDegreeTripleSurvey:
+    def test_buckets_of_known_triangle(self, world4):
+        graph = DistributedGraph.from_edges(
+            world4,
+            [(1, 2), (2, 3), (1, 3), (3, 4), (3, 5)],
+            vertex_meta={1: 2, 2: 2, 3: 4, 4: 1, 5: 1},  # metadata = degree
+        )
+        survey = DegreeTripleSurvey(world4)
+        triangle_survey_push_pull(DODGraph.build(graph), survey.callback)
+        survey.finalize()
+        assert survey.result() == {(1, 1, 2): 1}
+
+    def test_counts_all_triangles(self, small_er):
+        world = World(4)
+        graph = small_er.to_distributed(world)
+        from repro.analysis import decorate_with_degrees
+
+        decorated = decorate_with_degrees(graph)
+        survey = DegreeTripleSurvey(world)
+        report = triangle_survey_push(DODGraph.build(decorated), survey.callback)
+        survey.finalize()
+        assert sum(survey.result().values()) == report.triangles
+
+
+class TestFqdnTripleSurvey:
+    def test_only_distinct_fqdns_counted(self, world4):
+        graph = DistributedGraph.from_edges(
+            world4,
+            [(1, 2), (2, 3), (1, 3), (3, 4), (2, 4)],
+            vertex_meta={1: "a.com", 2: "b.com", 3: "c.com", 4: "b.com"},
+        )
+        survey = FqdnTripleSurvey(world4)
+        triangle_survey_push_pull(DODGraph.build(graph), survey.callback)
+        survey.finalize()
+        # Triangle (1,2,3) has three distinct domains; (2,3,4) repeats b.com.
+        assert survey.result() == {("a.com", "b.com", "c.com"): 1}
+
+    def test_triples_are_sorted_keys(self, world4):
+        graph = DistributedGraph.from_edges(
+            world4,
+            [(1, 2), (2, 3), (1, 3)],
+            vertex_meta={1: "z.com", 2: "a.com", 3: "m.com"},
+        )
+        survey = FqdnTripleSurvey(world4)
+        triangle_survey_push(DODGraph.build(graph), survey.callback)
+        survey.finalize()
+        (key,) = survey.result().keys()
+        assert key == ("a.com", "m.com", "z.com")
+
+    def test_triangles_with_domain_slice(self, world4):
+        graph = DistributedGraph.from_edges(
+            world4,
+            [(1, 2), (2, 3), (1, 3), (1, 4), (4, 5), (1, 5)],
+            vertex_meta={1: "hub.com", 2: "a.com", 3: "b.com", 4: "c.com", 5: "d.com"},
+        )
+        survey = FqdnTripleSurvey(world4)
+        triangle_survey_push_pull(DODGraph.build(graph), survey.callback)
+        survey.finalize()
+        slice_counts = survey.triangles_with_domain("hub.com")
+        assert slice_counts == {("a.com", "b.com"): 1, ("c.com", "d.com"): 1}

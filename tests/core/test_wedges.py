@@ -1,0 +1,45 @@
+"""Tests for wedge accounting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.wedges import (
+    per_rank_wedge_counts,
+    wedge_count,
+    wedge_count_from_edges,
+    work_rate,
+)
+from repro.graph import DODGraph
+from repro.runtime import World
+
+
+class TestWedgeCounts:
+    def test_wedge_count_matches_edge_oracle(self, small_rmat):
+        world = World(4)
+        dodgr = DODGraph.build(small_rmat.to_distributed(world))
+        assert wedge_count(dodgr) == wedge_count_from_edges(small_rmat.edges)
+
+    def test_per_rank_counts_sum_to_total(self, small_rmat):
+        world = World(8)
+        dodgr = DODGraph.build(small_rmat.to_distributed(world))
+        per_rank = per_rank_wedge_counts(dodgr)
+        assert len(per_rank) == 8
+        assert sum(per_rank) == wedge_count(dodgr)
+
+    def test_partitioning_does_not_change_total(self, small_er):
+        totals = set()
+        for nranks in (1, 3, 8):
+            world = World(nranks)
+            dodgr = DODGraph.build(small_er.to_distributed(world))
+            totals.add(wedge_count(dodgr))
+        assert len(totals) == 1
+
+
+class TestWorkRate:
+    def test_basic(self):
+        assert work_rate(1000, 4, 2.0) == pytest.approx(125.0)
+
+    def test_degenerate_inputs(self):
+        assert work_rate(1000, 0, 2.0) == 0.0
+        assert work_rate(1000, 4, 0.0) == 0.0

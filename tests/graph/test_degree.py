@@ -1,0 +1,51 @@
+"""Unit tests for the degree ordering (<+ relation)."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.graph.degree import DegreeOrder, order_key, precedes
+
+
+class TestOrderKey:
+    def test_lower_degree_precedes(self):
+        assert precedes("a", 1, "b", 5)
+        assert not precedes("b", 5, "a", 1)
+
+    def test_ties_broken_deterministically(self):
+        assert precedes(1, 3, 2, 3) != precedes(2, 3, 1, 3)
+
+    def test_strict_total_order_on_sample(self):
+        vertices = [(v, d) for v, d in zip(range(20), [3, 1, 4, 1, 5, 9, 2, 6] * 3)]
+        # Antisymmetry and totality.
+        for (u, du), (v, dv) in itertools.combinations(vertices, 2):
+            assert precedes(u, du, v, dv) != precedes(v, dv, u, du)
+        # Transitivity via sort consistency.
+        keys = [order_key(v, d) for v, d in vertices]
+        assert sorted(keys) == sorted(keys, key=lambda k: k)
+
+    def test_irreflexive(self):
+        assert not precedes("x", 4, "x", 4)
+
+
+class TestDegreeOrder:
+    def test_sorted_vertices_by_degree(self):
+        order = DegreeOrder({"a": 5, "b": 1, "c": 3})
+        assert order.sorted_vertices(["a", "b", "c"]) == ["b", "c", "a"]
+
+    def test_min_max(self):
+        order = DegreeOrder({"a": 5, "b": 1, "c": 3})
+        assert order.min_vertex(["a", "b", "c"]) == "b"
+        assert order.max_vertex(["a", "b", "c"]) == "a"
+
+    def test_unknown_vertex_has_degree_zero(self):
+        order = DegreeOrder({"a": 5})
+        assert order.degree("missing") == 0
+        assert order.precedes("missing", "a")
+
+    def test_precedes_consistent_with_keys(self):
+        order = DegreeOrder({1: 2, 2: 2, 3: 7})
+        for u in (1, 2, 3):
+            for v in (1, 2, 3):
+                if u != v:
+                    assert order.precedes(u, v) == (order.key(u) < order.key(v))

@@ -1,0 +1,152 @@
+"""Unit tests for the distributed undirected decorated graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    CyclicPartitioner,
+    DistributedEdgeList,
+    DistributedGraph,
+    HashPartitioner,
+)
+from repro.runtime import World
+
+
+def triangle_graph(world, **kwargs):
+    return DistributedGraph.from_edges(
+        world,
+        [(1, 2, "e12"), (2, 3, "e23"), (1, 3, "e13")],
+        vertex_meta={1: "red", 2: "green", 3: "blue"},
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_from_edges_counts(self, world4):
+        graph = triangle_graph(world4)
+        assert graph.num_vertices() == 3
+        assert graph.num_undirected_edges() == 3
+        assert graph.num_directed_edges() == 6
+
+    def test_vertex_and_edge_metadata(self, world4):
+        graph = triangle_graph(world4)
+        assert graph.vertex_meta(1) == "red"
+        assert graph.edge_meta(1, 2) == "e12"
+        assert graph.edge_meta(2, 1) == "e12"  # both half edges share metadata
+
+    def test_self_loops_dropped(self, world4):
+        graph = DistributedGraph.from_edges(world4, [(1, 1), (1, 2)])
+        assert graph.num_undirected_edges() == 1
+
+    def test_default_vertex_meta(self, world4):
+        graph = DistributedGraph.from_edges(
+            world4, [(1, 2)], default_vertex_meta=False
+        )
+        assert graph.vertex_meta(1) is False
+
+    def test_missing_vertex_raises(self, world4):
+        graph = triangle_graph(world4)
+        with pytest.raises(KeyError):
+            graph.vertex_meta(99)
+        with pytest.raises(KeyError):
+            graph.edge_meta(1, 99)
+
+    def test_from_edge_list(self, world4):
+        el = DistributedEdgeList(world4)
+        el.extend([(0, 1, "a"), (1, 2, "b")])
+        graph = DistributedGraph.from_edge_list(el)
+        assert graph.num_undirected_edges() == 2
+        assert graph.edge_meta(1, 2) == "b"
+
+    def test_partitioner_mismatch_rejected(self, world4):
+        with pytest.raises(ValueError):
+            DistributedGraph(world4, partitioner=HashPartitioner(8))
+
+    def test_explicit_partitioner_controls_placement(self, world4):
+        graph = triangle_graph(world4, partitioner=CyclicPartitioner(4))
+        for vertex in (1, 2, 3):
+            assert vertex in graph.local_store(vertex % 4)
+
+
+class TestQueries:
+    def test_degree_and_neighbors(self, world4):
+        graph = triangle_graph(world4)
+        assert graph.degree(1) == 2
+        assert sorted(graph.neighbors(1)) == [2, 3]
+        assert graph.degree(99) == 0
+        assert graph.neighbors(99) == []
+
+    def test_has_edge(self, world4):
+        graph = triangle_graph(world4)
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+        assert not graph.has_edge(1, 4)
+
+    def test_edges_iterates_each_undirected_edge_once(self, world4):
+        graph = triangle_graph(world4)
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        assert {frozenset((u, v)) for u, v, _ in edges} == {
+            frozenset((1, 2)),
+            frozenset((2, 3)),
+            frozenset((1, 3)),
+        }
+
+    def test_max_degree_and_degrees(self, world4, small_rmat):
+        graph = small_rmat.to_distributed(world4)
+        degrees = graph.degrees()
+        assert graph.max_degree() == max(degrees.values())
+        assert sum(degrees.values()) == graph.num_directed_edges()
+
+    def test_rank_counts_sum(self, world8, small_rmat):
+        graph = small_rmat.to_distributed(world8)
+        assert sum(graph.rank_vertex_counts()) == graph.num_vertices()
+        assert sum(graph.rank_edge_counts()) == graph.num_directed_edges()
+
+    def test_to_networkx_matches(self, world4, small_rmat):
+        graph = small_rmat.to_distributed(world4)
+        nxg = graph.to_networkx()
+        assert nxg.number_of_nodes() == graph.num_vertices()
+        assert nxg.number_of_edges() == graph.num_undirected_edges()
+
+
+class TestAsyncIngestion:
+    def test_ingest_async_equals_bulk(self, world4, small_er):
+        bulk = small_er.to_distributed(world4, name="bulk")
+
+        world2 = World(4)
+        async_graph = DistributedGraph(world2, name="async")
+        per_rank = [[] for _ in range(4)]
+        for index, (u, v, meta) in enumerate(small_er.edges):
+            per_rank[index % 4].append((u, v, meta))
+        async_graph.ingest_async(per_rank)
+
+        assert async_graph.num_vertices() == bulk.num_vertices()
+        assert async_graph.num_directed_edges() == bulk.num_directed_edges()
+        assert {frozenset((u, v)) for u, v, _ in async_graph.edges()} == {
+            frozenset((u, v)) for u, v, _ in bulk.edges()
+        }
+
+    def test_ingest_async_with_vertex_meta(self, world4):
+        graph = DistributedGraph(world4)
+        graph.ingest_async(
+            [[(1, 2, None)], [], [], []],
+            vertex_meta_per_rank=[{1: "a"}, {2: "b"}, {}, {}],
+        )
+        assert graph.vertex_meta(1) == "a"
+        assert graph.vertex_meta(2) == "b"
+
+    def test_ingest_async_validates_shapes(self, world4):
+        graph = DistributedGraph(world4)
+        with pytest.raises(ValueError):
+            graph.ingest_async([[]])
+        with pytest.raises(ValueError):
+            graph.ingest_async([[], [], [], []], vertex_meta_per_rank=[{}])
+
+    def test_ingestion_traffic_is_accounted(self, world4):
+        graph = DistributedGraph(world4)
+        per_rank = [[(i, i + 1, None) for i in range(rank, 40, 4)] for rank in range(4)]
+        graph.ingest_async(per_rank)
+        phase = world4.stats.phase_total(f"{graph.name}.ingest")
+        assert phase.rpcs_sent > 0

@@ -1,0 +1,139 @@
+"""Unit tests for the degree-ordered directed graph (DODGr)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import DODGraph, DistributedGraph, entry_key, order_key
+from repro.graph.properties import dodgr_wedge_count, max_dodgr_out_degree
+from repro.runtime import World
+
+
+def build_pair(generated, nranks=4):
+    """Build bulk and async DODGr for the same generated graph."""
+    world_a = World(nranks)
+    bulk = DODGraph.build(generated.to_distributed(world_a), mode="bulk")
+    world_b = World(nranks)
+    asyn = DODGraph.build(generated.to_distributed(world_b), mode="async")
+    return bulk, asyn
+
+
+class TestInvariants:
+    def test_every_undirected_edge_appears_exactly_once(self, world4, small_rmat):
+        graph = small_rmat.to_distributed(world4)
+        dodgr = DODGraph.build(graph)
+        directed = list(dodgr.directed_edges())
+        assert len(directed) == graph.num_undirected_edges()
+        assert len(set(map(frozenset, directed))) == len(directed)
+
+    def test_edges_point_from_lower_to_higher_order(self, world4, small_rmat):
+        graph = small_rmat.to_distributed(world4)
+        dodgr = DODGraph.build(graph)
+        degrees = graph.degrees()
+        for u, v in dodgr.directed_edges():
+            assert order_key(u, degrees[u]) < order_key(v, degrees[v])
+
+    def test_adjacency_sorted_by_target_order(self, world4, small_rmat):
+        dodgr = DODGraph.build(small_rmat.to_distributed(world4))
+        for rank in range(4):
+            for _vertex, record in dodgr.local_vertices(rank):
+                keys = [entry_key(entry) for entry in record["adj"]]
+                assert keys == sorted(keys)
+
+    def test_adjacency_entries_carry_metadata(self, world4):
+        graph = DistributedGraph.from_edges(
+            world4,
+            [(1, 2, "e12"), (2, 3, "e23"), (1, 3, "e13")],
+            vertex_meta={1: "m1", 2: "m2", 3: "m3"},
+        )
+        dodgr = DODGraph.build(graph)
+        metas = {}
+        for rank in range(4):
+            for u, record in dodgr.local_vertices(rank):
+                for v, d_v, edge_meta, meta_v in record["adj"]:
+                    metas[(u, v)] = (edge_meta, meta_v, d_v)
+        # Every stored entry carries the correct edge metadata, the target's
+        # vertex metadata and the target's degree.
+        for (u, v), (edge_meta, meta_v, d_v) in metas.items():
+            assert edge_meta == graph.edge_meta(u, v)
+            assert meta_v == graph.vertex_meta(v)
+            assert d_v == graph.degree(v)
+
+    def test_vertex_records_keep_full_degree_and_meta(self, world4, small_rmat):
+        graph = small_rmat.to_distributed(world4, default_vertex_meta=True)
+        dodgr = DODGraph.build(graph)
+        for rank in range(4):
+            for vertex, record in dodgr.local_vertices(rank):
+                assert record["degree"] == graph.degree(vertex)
+                assert record["meta"] is True
+
+    def test_acyclic(self, world4, small_er):
+        import networkx as nx
+
+        dodgr = DODGraph.build(small_er.to_distributed(world4))
+        dg = nx.DiGraph(list(dodgr.directed_edges()))
+        assert nx.is_directed_acyclic_graph(dg)
+
+
+class TestConstructionModes:
+    def test_async_equals_bulk(self, small_er):
+        bulk, asyn = build_pair(small_er)
+        assert sorted(bulk.directed_edges()) == sorted(asyn.directed_edges())
+        assert bulk.wedge_count() == asyn.wedge_count()
+
+    def test_async_accounts_traffic(self, small_er):
+        world = World(4)
+        graph = small_er.to_distributed(world)
+        dodgr = DODGraph.build(graph, mode="async", phase_name="construct")
+        assert world.stats.phase_total("construct").rpcs_sent > 0
+        assert dodgr.num_directed_edges() == graph.num_undirected_edges()
+
+    def test_unknown_mode_rejected(self, world4, small_er):
+        graph = small_er.to_distributed(world4)
+        with pytest.raises(ValueError):
+            DODGraph.build(graph, mode="magic")
+
+
+class TestQueries:
+    def test_out_degree_and_degree(self, world4):
+        graph = DistributedGraph.from_edges(world4, [(1, 2), (1, 3), (2, 3), (3, 4)])
+        dodgr = DODGraph.build(graph)
+        for vertex in (1, 2, 3, 4):
+            assert dodgr.degree(vertex) == graph.degree(vertex)
+            assert dodgr.out_degree(vertex) == len(dodgr.adjacency(vertex))
+        assert dodgr.out_degree(99) == 0
+        assert dodgr.adjacency(99) == []
+
+    def test_wedge_count_matches_oracle(self, world8, small_rmat):
+        dodgr = DODGraph.build(small_rmat.to_distributed(world8))
+        assert dodgr.wedge_count() == dodgr_wedge_count(small_rmat.edges)
+
+    def test_max_out_degree_matches_oracle(self, world8, small_rmat):
+        dodgr = DODGraph.build(small_rmat.to_distributed(world8))
+        assert dodgr.max_out_degree() == max_dodgr_out_degree(small_rmat.edges)
+
+    def test_max_out_degree_much_smaller_than_max_degree(self, world4, small_rmat):
+        """The reason cyclic partitioning is palatable: G+ tames the hubs."""
+        graph = small_rmat.to_distributed(world4)
+        dodgr = DODGraph.build(graph)
+        assert dodgr.max_out_degree() < graph.max_degree()
+
+    def test_vertex_meta_lookup(self, world4):
+        graph = DistributedGraph.from_edges(world4, [(1, 2)], vertex_meta={1: "x", 2: "y"})
+        dodgr = DODGraph.build(graph)
+        assert dodgr.vertex_meta(1) == "x"
+        with pytest.raises(KeyError):
+            dodgr.vertex_meta(42)
+
+    def test_rank_edge_counts_sum(self, world8, small_rmat):
+        dodgr = DODGraph.build(small_rmat.to_distributed(world8))
+        assert sum(dodgr.rank_edge_counts()) == dodgr.num_directed_edges()
+
+    def test_visit_executes_on_owner(self, world4):
+        graph = DistributedGraph.from_edges(world4, [(1, 2), (2, 3)])
+        dodgr = DODGraph.build(graph)
+        seen = []
+        handler = world4.register_handler(lambda ctx, vertex, tag: seen.append((ctx.rank, vertex, tag)))
+        dodgr.visit(world4.ranks[0], 3, handler, "hello")
+        world4.barrier()
+        assert seen == [(dodgr.owner(3), 3, "hello")]

@@ -1,0 +1,208 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    GeneratedGraph,
+    chung_lu_power_law,
+    clustered_web_graph,
+    community_host_graph,
+    erdos_renyi,
+    fqdn_web_graph,
+    reddit_like_temporal_graph,
+    rmat,
+)
+from repro.graph.metadata import edge_timestamp
+from repro.baselines.networkx_ref import average_clustering_nx
+
+
+def no_self_loops(graph: GeneratedGraph) -> bool:
+    return all(u != v for u, v, _ in graph.edges)
+
+
+def no_duplicate_pairs(graph: GeneratedGraph) -> bool:
+    pairs = [frozenset((u, v)) for u, v, _ in graph.edges]
+    return len(pairs) == len(set(pairs))
+
+
+class TestRmat:
+    def test_deterministic(self):
+        assert rmat(8, seed=3).edges == rmat(8, seed=3).edges
+
+    def test_different_seeds_differ(self):
+        assert rmat(8, seed=3).edges != rmat(8, seed=4).edges
+
+    def test_vertex_ids_in_range(self):
+        graph = rmat(7, edge_factor=4, seed=1)
+        assert all(0 <= u < 128 and 0 <= v < 128 for u, v, _ in graph.edges)
+
+    def test_simple_graph(self):
+        graph = rmat(8, seed=5)
+        assert no_self_loops(graph)
+        assert no_duplicate_pairs(graph)
+
+    def test_skewed_degrees(self):
+        graph = rmat(10, edge_factor=8, seed=2)
+        degrees = {}
+        for u, v, _ in graph.edges:
+            degrees[u] = degrees.get(u, 0) + 1
+            degrees[v] = degrees.get(v, 0) + 1
+        values = sorted(degrees.values())
+        assert values[-1] > 10 * np.median(values)
+
+    def test_default_edge_metadata_is_boolean(self):
+        assert all(meta is True for _, _, meta in rmat(6, seed=1).edges)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            rmat(0)
+        with pytest.raises(ValueError):
+            rmat(5, a=0.5, b=0.4, c=0.3)
+
+
+class TestErdosRenyi:
+    def test_zero_probability(self):
+        assert erdos_renyi(50, 0.0, seed=1).num_edges() == 0
+
+    def test_full_probability(self):
+        graph = erdos_renyi(10, 1.0, seed=1)
+        assert graph.num_edges() == 45
+
+    def test_edge_count_near_expectation(self):
+        graph = erdos_renyi(100, 0.1, seed=3)
+        expected = 0.1 * 100 * 99 / 2
+        assert 0.7 * expected < graph.num_edges() < 1.3 * expected
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+
+class TestChungLu:
+    def test_simple_and_deterministic(self):
+        graph = chung_lu_power_law(500, seed=9)
+        assert no_self_loops(graph)
+        assert no_duplicate_pairs(graph)
+        assert graph.edges == chung_lu_power_law(500, seed=9).edges
+
+    def test_average_degree_in_ballpark(self):
+        graph = chung_lu_power_law(2000, average_degree=10, seed=4)
+        avg = 2 * graph.num_edges() / graph.num_vertices()
+        assert 4 < avg < 16
+
+    def test_heavier_exponent_gives_more_skew(self):
+        flat = chung_lu_power_law(2000, average_degree=8, exponent=2.9, seed=5)
+        skewed = chung_lu_power_law(2000, average_degree=8, exponent=2.05, seed=5)
+
+        def max_degree(graph):
+            degrees = {}
+            for u, v, _ in graph.edges:
+                degrees[u] = degrees.get(u, 0) + 1
+                degrees[v] = degrees.get(v, 0) + 1
+            return max(degrees.values())
+
+        assert max_degree(skewed) > max_degree(flat)
+
+
+class TestWebGraphs:
+    def test_clustered_web_graph_has_high_clustering(self):
+        web = clustered_web_graph(800, seed=6)
+        social = chung_lu_power_law(800, average_degree=12, exponent=2.5, seed=6)
+        assert average_clustering_nx(web.edges) > 2 * average_clustering_nx(social.edges)
+
+    def test_clustered_web_graph_simple(self):
+        graph = clustered_web_graph(500, seed=2)
+        assert no_self_loops(graph)
+        assert no_duplicate_pairs(graph)
+
+    def test_community_host_graph_structure(self):
+        graph = community_host_graph(600, community_size=100, intra_probability=0.2, seed=8)
+        assert no_self_loops(graph)
+        assert no_duplicate_pairs(graph)
+        assert average_clustering_nx(graph.edges) > 0.05
+
+    def test_community_host_graph_validates_sizes(self):
+        with pytest.raises(ValueError):
+            community_host_graph(10, community_size=100)
+
+    def test_clustered_web_graph_validates_sizes(self):
+        with pytest.raises(ValueError):
+            clustered_web_graph(3, attachment_edges=6)
+
+
+class TestRedditLike:
+    def test_edges_carry_increasing_time_range(self):
+        graph = reddit_like_temporal_graph(300, 3000, seed=10)
+        times = [edge_timestamp(meta) for _, _, meta in graph.edges]
+        assert min(times) >= 0
+        assert max(times) > min(times)
+
+    def test_is_a_multigraph(self):
+        graph = reddit_like_temporal_graph(100, 5000, seed=11)
+        pairs = [frozenset((u, v)) for u, v, _ in graph.edges]
+        assert len(set(pairs)) < len(pairs)
+
+    def test_vertex_meta_is_community_id(self):
+        graph = reddit_like_temporal_graph(200, 1000, community_count=5, seed=12)
+        assert set(graph.vertex_meta.keys()) == set(range(200))
+        assert all(0 <= c < 5 for c in graph.vertex_meta.values())
+
+    def test_deterministic(self):
+        a = reddit_like_temporal_graph(100, 500, seed=13)
+        b = reddit_like_temporal_graph(100, 500, seed=13)
+        assert a.edges == b.edges
+
+    def test_requires_enough_authors(self):
+        with pytest.raises(ValueError):
+            reddit_like_temporal_graph(2, 10)
+
+
+class TestFqdnWebGraph:
+    def test_every_vertex_has_a_domain(self):
+        graph = fqdn_web_graph(800, seed=14)
+        vertices = {u for u, v, _ in graph.edges} | {v for u, v, _ in graph.edges}
+        assert vertices <= set(graph.vertex_meta.keys())
+        assert all(isinstance(domain, str) for domain in graph.vertex_meta.values())
+
+    def test_planted_domains_present(self):
+        graph = fqdn_web_graph(800, seed=14)
+        domains = set(graph.vertex_meta.values())
+        assert graph.params["anchor_domain"] in domains
+        assert graph.params["competitor_domain"] in domains
+        for sister in graph.params["sister_domains"]:
+            assert sister in domains
+
+    def test_anchor_domain_is_popular(self):
+        graph = fqdn_web_graph(1000, seed=15)
+        anchor = graph.params["anchor_domain"]
+        degree_by_domain = {}
+        for u, v, _ in graph.edges:
+            degree_by_domain[graph.vertex_meta[u]] = degree_by_domain.get(graph.vertex_meta[u], 0) + 1
+            degree_by_domain[graph.vertex_meta[v]] = degree_by_domain.get(graph.vertex_meta[v], 0) + 1
+        generic_total = sum(v for k, v in degree_by_domain.items() if k.startswith("site-"))
+        generic_mean = generic_total / max(1, sum(1 for k in degree_by_domain if k.startswith("site-")))
+        assert degree_by_domain[anchor] > 3 * generic_mean
+
+    def test_simple_graph(self):
+        graph = fqdn_web_graph(500, seed=16)
+        assert no_self_loops(graph)
+        assert no_duplicate_pairs(graph)
+
+
+class TestGeneratedGraphHelpers:
+    def test_to_distributed_roundtrip(self, world4):
+        graph = erdos_renyi(30, 0.2, seed=17)
+        distributed = graph.to_distributed(world4)
+        assert distributed.num_undirected_edges() == graph.num_edges()
+
+    def test_to_networkx(self):
+        graph = erdos_renyi(30, 0.2, seed=18)
+        nxg = graph.to_networkx()
+        assert nxg.number_of_edges() == graph.num_edges()
+
+    def test_num_vertices_includes_metadata_only_vertices(self):
+        graph = GeneratedGraph(name="g", edges=[(1, 2, None)], vertex_meta={5: "isolated"})
+        assert graph.num_vertices() == 3

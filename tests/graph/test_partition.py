@@ -1,0 +1,90 @@
+"""Unit tests for vertex partitioners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.partition import (
+    BlockPartitioner,
+    CyclicPartitioner,
+    ExplicitPartitioner,
+    HashPartitioner,
+    partition_balance,
+)
+
+
+class TestCyclic:
+    def test_integer_ids_round_robin(self):
+        part = CyclicPartitioner(4)
+        assert [part.owner(i) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_non_integer_ids_fall_back_to_hash(self):
+        part = CyclicPartitioner(4)
+        assert 0 <= part.owner("vertex") < 4
+
+    def test_bool_not_treated_as_int(self):
+        part = CyclicPartitioner(4)
+        assert 0 <= part.owner(True) < 4
+
+
+class TestHash:
+    def test_deterministic(self):
+        part = HashPartitioner(8)
+        assert part.owner(123) == part.owner(123)
+
+    def test_seed_changes_assignment(self):
+        a = HashPartitioner(16, seed=1)
+        b = HashPartitioner(16, seed=2)
+        moved = sum(1 for i in range(200) if a.owner(i) != b.owner(i))
+        assert moved > 100
+
+    def test_spreads_evenly(self):
+        part = HashPartitioner(8)
+        balance = partition_balance(part, range(4000))
+        assert balance["imbalance"] < 1.3
+
+
+class TestBlock:
+    def test_contiguous_blocks(self):
+        part = BlockPartitioner(4, num_vertices=100)
+        assert part.owner(0) == 0
+        assert part.owner(24) == 0
+        assert part.owner(25) == 1
+        assert part.owner(99) == 3
+
+    def test_out_of_range_ids_still_get_a_rank(self):
+        part = BlockPartitioner(4, num_vertices=10)
+        assert 0 <= part.owner(10**9) < 4
+        assert 0 <= part.owner(-5) < 4
+
+
+class TestExplicit:
+    def test_uses_assignment(self):
+        part = ExplicitPartitioner(4, {"a": 3, "b": 0})
+        assert part.owner("a") == 3
+        assert part.owner("b") == 0
+
+    def test_missing_keys_fall_back_to_hash(self):
+        part = ExplicitPartitioner(4, {"a": 1})
+        assert 0 <= part.owner("unknown") < 4
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitPartitioner(2, {"a": 5})
+
+
+class TestCommon:
+    def test_nranks_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    def test_owners_batch_helper(self):
+        part = CyclicPartitioner(3)
+        assert part.owners([0, 1, 2, 3]) == [0, 1, 2, 0]
+
+    def test_partition_balance_reports_counts(self):
+        part = CyclicPartitioner(2)
+        balance = partition_balance(part, range(10))
+        assert balance["counts"] == [5, 5]
+        assert balance["total"] == 10
+        assert balance["imbalance"] == pytest.approx(1.0)

@@ -1,0 +1,71 @@
+"""Property-based tests for DODGr construction invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DODGraph, DistributedGraph
+from repro.graph.degree import order_key
+from repro.runtime import World
+
+
+@st.composite
+def simple_edge_sets(draw, max_vertices=20, max_edges=60):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    raw = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=max_edges,
+        )
+    )
+    return [(u, v) for u, v in raw if u != v]
+
+
+@given(simple_edge_sets(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_dodgr_orients_each_edge_exactly_once(edges, nranks):
+    world = World(nranks)
+    graph = DistributedGraph.from_edges(world, edges)
+    dodgr = DODGraph.build(graph)
+    undirected = {frozenset((u, v)) for u, v in edges}
+    directed = list(dodgr.directed_edges())
+    assert len(directed) == len(undirected)
+    assert {frozenset(e) for e in directed} == undirected
+
+
+@given(simple_edge_sets(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_dodgr_respects_degree_order(edges, nranks):
+    world = World(nranks)
+    graph = DistributedGraph.from_edges(world, edges)
+    degrees = graph.degrees()
+    dodgr = DODGraph.build(graph)
+    for u, v in dodgr.directed_edges():
+        assert order_key(u, degrees[u]) < order_key(v, degrees[v])
+
+
+@given(simple_edge_sets(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_async_and_bulk_construction_agree(edges, nranks):
+    world_a = World(nranks)
+    bulk = DODGraph.build(DistributedGraph.from_edges(world_a, edges), mode="bulk")
+    world_b = World(nranks)
+    asyn = DODGraph.build(DistributedGraph.from_edges(world_b, edges), mode="async")
+    assert sorted(bulk.directed_edges()) == sorted(asyn.directed_edges())
+    assert bulk.wedge_count() == asyn.wedge_count()
+
+
+@given(simple_edge_sets())
+@settings(max_examples=40, deadline=None)
+def test_wedge_count_invariant_under_partitioning(edges):
+    counts = set()
+    for nranks in (1, 3, 7):
+        world = World(nranks)
+        dodgr = DODGraph.build(DistributedGraph.from_edges(world, edges))
+        counts.add(dodgr.wedge_count())
+    assert len(counts) <= 1 or (len(counts) == 1)
+    assert len(counts) == 1

@@ -1,0 +1,56 @@
+"""Property-based tests for the degree order and the stable hash."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.degree import order_key, precedes
+from repro.runtime.world import stable_hash
+
+vertex_ids = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(min_size=1, max_size=12),
+)
+degrees = st.integers(min_value=0, max_value=10**6)
+
+
+@given(vertex_ids, degrees, vertex_ids, degrees)
+@settings(max_examples=200, deadline=None)
+def test_order_is_antisymmetric_and_total(u, du, v, dv):
+    if u == v and du == dv:
+        assert not precedes(u, du, v, dv)
+    else:
+        forward = precedes(u, du, v, dv)
+        backward = precedes(v, dv, u, du)
+        assert forward != backward
+
+
+@given(vertex_ids, degrees, vertex_ids, degrees, vertex_ids, degrees)
+@settings(max_examples=200, deadline=None)
+def test_order_is_transitive(u, du, v, dv, w, dw):
+    if precedes(u, du, v, dv) and precedes(v, dv, w, dw):
+        assert precedes(u, du, w, dw)
+
+
+@given(vertex_ids, degrees, vertex_ids, degrees)
+@settings(max_examples=200, deadline=None)
+def test_lower_degree_always_precedes(u, du, v, dv):
+    if du < dv:
+        assert precedes(u, du, v, dv)
+
+
+@given(st.one_of(vertex_ids, st.tuples(vertex_ids, vertex_ids), st.none(), st.booleans(), st.floats(allow_nan=False)))
+@settings(max_examples=200, deadline=None)
+def test_stable_hash_is_deterministic_and_non_negative(value):
+    assert stable_hash(value) == stable_hash(value)
+    assert stable_hash(value) >= 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=2, max_size=50, unique=True))
+@settings(max_examples=100, deadline=None)
+def test_order_key_sorting_is_consistent_with_precedes(ids):
+    degrees_map = {v: (v * 7) % 13 for v in ids}
+    ordered = sorted(ids, key=lambda v: order_key(v, degrees_map[v]))
+    for a, b in zip(ordered, ordered[1:]):
+        assert precedes(a, degrees_map[a], b, degrees_map[b])

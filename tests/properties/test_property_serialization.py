@@ -1,0 +1,72 @@
+"""Property-based tests for the serialization codec."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.serialization import dumps, loads, serialized_size
+
+# Serializable scalar values (NaN excluded: NaN != NaN breaks equality checks).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**80), max_value=2**80),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+# Hashable keys / set members.
+hashable = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(max_size=20),
+)
+
+
+def nested_values(depth=3):
+    return st.recursive(
+        scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=5),
+            st.dictionaries(hashable, children, max_size=5),
+            st.tuples(children, children),
+            st.frozensets(hashable, max_size=5),
+        ),
+        max_leaves=25,
+    )
+
+
+@given(nested_values())
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_preserves_value(value):
+    assert loads(dumps(value)) == value
+
+
+@given(nested_values())
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_preserves_type_structure(value):
+    decoded = loads(dumps(value))
+    assert type(decoded) is type(value)
+
+
+@given(nested_values())
+@settings(max_examples=100, deadline=None)
+def test_serialization_is_deterministic(value):
+    assert dumps(value) == dumps(value)
+
+
+@given(nested_values())
+@settings(max_examples=100, deadline=None)
+def test_serialized_size_matches_payload_length(value):
+    assert serialized_size(value) == len(dumps(value))
+
+
+@given(st.lists(st.integers(min_value=-(2**62), max_value=2**62), max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_int_list_size_monotone_in_length(values):
+    # Appending an element never shrinks the payload (no surprising
+    # compression that would distort communication-volume accounting).
+    size = serialized_size(values)
+    assert serialized_size(values + [0]) > size

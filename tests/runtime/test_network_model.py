@@ -1,0 +1,79 @@
+"""Unit tests for the latency/bandwidth cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.network_model import CATALYST_LIKE, CostModel, simulate_time
+from repro.runtime.stats import PhaseStats, WorldStats
+
+
+def make_world_stats(per_rank_compute, phase="p"):
+    world = WorldStats(len(per_rank_compute))
+    world.begin_phase(phase)
+    for rank_stats, compute in zip(world.ranks, per_rank_compute):
+        rank_stats.current.compute_units = compute
+    return world
+
+
+class TestCostModel:
+    def test_empty_phase_costs_only_overhead(self):
+        model = CostModel()
+        assert model.phase_time_for_rank(PhaseStats()) == 0.0
+
+    def test_more_bytes_cost_more_time(self):
+        model = CostModel()
+        small = PhaseStats(wire_bytes=1000, wire_messages=1)
+        large = PhaseStats(wire_bytes=10_000_000, wire_messages=1)
+        assert model.phase_time_for_rank(large) > model.phase_time_for_rank(small)
+
+    def test_more_messages_cost_more_latency(self):
+        model = CostModel()
+        few = PhaseStats(wire_messages=1, wire_bytes=100)
+        many = PhaseStats(wire_messages=10_000, wire_bytes=100)
+        assert model.phase_time_for_rank(many) > model.phase_time_for_rank(few)
+
+    def test_compute_units_contribute(self):
+        model = CostModel()
+        idle = PhaseStats()
+        busy = PhaseStats(compute_units=10_000_000)
+        assert model.phase_time_for_rank(busy) > model.phase_time_for_rank(idle)
+
+
+class TestSimulateTime:
+    def test_makespan_is_driven_by_busiest_rank(self):
+        balanced = simulate_time(make_world_stats([100, 100, 100, 100]))
+        imbalanced = simulate_time(make_world_stats([10, 10, 10, 370]))
+        # Same total work, but the imbalanced run must be slower.
+        assert imbalanced.total_seconds > balanced.total_seconds
+
+    def test_phase_ordering_respected(self):
+        world = WorldStats(2)
+        world.begin_phase("first")
+        world.ranks[0].current.compute_units = 10
+        world.begin_phase("second")
+        world.ranks[0].current.compute_units = 10
+        sim = simulate_time(world, phases=["first", "second"])
+        assert [p.name for p in sim.phases] == ["first", "second"]
+        assert sim.total_seconds == pytest.approx(
+            sim.phase_seconds("first") + sim.phase_seconds("second")
+        )
+
+    def test_unknown_phase_contributes_overhead_only(self):
+        world = make_world_stats([5, 5])
+        sim = simulate_time(world, phases=["missing"])
+        assert sim.phase_seconds("missing") == pytest.approx(
+            CATALYST_LIKE.phase_overhead_seconds
+        )
+
+    def test_load_imbalance_metric(self):
+        sim = simulate_time(make_world_stats([10, 10, 10, 370]))
+        phase = sim.phases[0]
+        assert phase.load_imbalance > 2.0
+        assert phase.busiest_rank == 3
+
+    def test_as_dict_contains_total(self):
+        sim = simulate_time(make_world_stats([1, 2]))
+        d = sim.as_dict()
+        assert "total" in d
+        assert d["total"] == pytest.approx(sim.total_seconds)

@@ -1,0 +1,80 @@
+"""Unit tests for the per-rank / per-phase statistics containers."""
+
+from __future__ import annotations
+
+from repro.runtime.stats import PhaseStats, RankStats, WorldStats
+
+
+class TestPhaseStats:
+    def test_merge_adds_counters(self):
+        a = PhaseStats(bytes_sent_remote=10, wire_messages=1, compute_units=5)
+        a.add_app("triangles", 2)
+        b = PhaseStats(bytes_sent_remote=3, wire_messages=2, compute_units=1)
+        b.add_app("triangles", 1)
+        b.add_app("pulls", 7)
+        a.merge(b)
+        assert a.bytes_sent_remote == 13
+        assert a.wire_messages == 3
+        assert a.compute_units == 6
+        assert a.app_counters == {"triangles": 3, "pulls": 7}
+
+    def test_copy_is_independent(self):
+        a = PhaseStats(wire_bytes=5)
+        a.add_app("x", 1)
+        b = a.copy()
+        b.wire_bytes += 1
+        b.add_app("x", 1)
+        assert a.wire_bytes == 5
+        assert a.app_counters["x"] == 1
+
+
+class TestRankStats:
+    def test_phases_created_on_demand(self):
+        stats = RankStats(0)
+        stats.begin_phase("alpha")
+        stats.current.rpcs_sent += 2
+        stats.begin_phase("beta")
+        stats.current.rpcs_sent += 1
+        assert stats.phase("alpha").rpcs_sent == 2
+        assert stats.phase("beta").rpcs_sent == 1
+        assert stats.total().rpcs_sent == 3
+
+    def test_reset(self):
+        stats = RankStats(1)
+        stats.current.rpcs_sent += 1
+        stats.reset()
+        assert stats.total().rpcs_sent == 0
+
+
+class TestWorldStats:
+    def test_phase_total_sums_over_ranks(self):
+        world = WorldStats(3)
+        world.begin_phase("p")
+        for rank_stats in world.ranks:
+            rank_stats.current.wire_bytes += 10
+        assert world.phase_total("p").wire_bytes == 30
+
+    def test_max_over_ranks(self):
+        world = WorldStats(3)
+        world.begin_phase("p")
+        world.ranks[0].current.compute_units = 5
+        world.ranks[1].current.compute_units = 50
+        world.ranks[2].current.compute_units = 7
+        assert world.max_over_ranks("p").compute_units == 50
+
+    def test_app_counter_total_with_phase_filter(self):
+        world = WorldStats(2)
+        world.begin_phase("a")
+        world.ranks[0].current.add_app("tri", 3)
+        world.begin_phase("b")
+        world.ranks[1].current.add_app("tri", 4)
+        assert world.app_counter_total("tri") == 7
+        assert world.app_counter_total("tri", phases=["a"]) == 3
+
+    def test_phase_names_in_first_seen_order(self):
+        world = WorldStats(2)
+        world.begin_phase("z")
+        world.ranks[0].current.rpcs_sent += 1
+        world.begin_phase("a")
+        world.ranks[0].current.rpcs_sent += 1
+        assert world.phase_names() == ["z", "a"]
