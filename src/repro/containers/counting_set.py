@@ -25,7 +25,8 @@ DEFAULT_CACHE_CAPACITY = 1024
 
 
 class DistributedCountingSet:
-    """Hash-partitioned item -> count histogram with write-back caches."""
+    """Hash-partitioned item -> count histogram with write-back caches (the
+    counting set of Section 4.5, used by the closure-time and FQDN surveys)."""
 
     _counter = 0
 

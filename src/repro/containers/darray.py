@@ -18,7 +18,8 @@ __all__ = ["DistributedArray"]
 
 
 class DistributedArray:
-    """A fixed-length, block-partitioned array with asynchronous accumulation."""
+    """A fixed-length, block-partitioned array with asynchronous accumulation
+    (``ygm::container::array``, Section 2; used for per-vertex tallies)."""
 
     _counter = 0
 

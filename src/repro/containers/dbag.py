@@ -17,7 +17,8 @@ __all__ = ["DistributedBag"]
 
 
 class DistributedBag:
-    """An unordered collection partitioned across ranks."""
+    """An unordered rank-partitioned collection (``ygm::container::bag``,
+    Section 2; backing store for edge lists before partitioning)."""
 
     _counter = 0
 

@@ -22,7 +22,8 @@ __all__ = ["DistributedMap"]
 
 
 class DistributedMap:
-    """A hash-partitioned key/value store with YGM-style asynchronous access.
+    """A hash-partitioned key/value store (``ygm::container::map``, Section 2;
+    TriPoll stores the DODGr's vertex -> (meta, Adj^m_+) records in one).
 
     Parameters
     ----------

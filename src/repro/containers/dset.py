@@ -16,7 +16,8 @@ __all__ = ["DistributedSet"]
 
 
 class DistributedSet:
-    """A hash-partitioned set with asynchronous insertion."""
+    """A hash-partitioned set with asynchronous insertion
+    (``ygm::container::set``, Section 2)."""
 
     _counter = 0
 

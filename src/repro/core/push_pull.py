@@ -31,9 +31,17 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..graph.dodgr import DODGraph, entry_key
 from ..graph.metadata import TriangleMetadata
-from .intersection import INTERSECTION_KERNELS
+from .intersection import BATCH_KERNELS, INTERSECTION_KERNELS
 from .results import SurveyReport
-from .survey import DEFAULT_CALLBACK_COMPUTE_UNITS, TriangleCallback, _candidate_key
+from .survey import (
+    DEFAULT_CALLBACK_COMPUTE_UNITS,
+    TriangleCallback,
+    _candidate_key,
+    _concat_segments,
+    _drive_batched_push,
+    _legacy_push_payload_overhead,
+    _make_batched_intersect_handler,
+)
 
 __all__ = [
     "triangle_survey_push_pull",
@@ -55,14 +63,38 @@ def triangle_survey_push_pull(
     reset_stats: bool = True,
     graph_name: Optional[str] = None,
     callback_compute_units: int = DEFAULT_CALLBACK_COMPUTE_UNITS,
+    batched: bool = False,
 ) -> SurveyReport:
     """Run the Push-Pull triangle survey over ``dodgr``.
 
-    Same callback contract as
-    :func:`~repro.core.survey.triangle_survey_push`; see that function for
-    parameter semantics.  The returned report carries the three-phase
-    breakdown (dry run / push / pull) and the number of pulled adjacency
-    lists used for Table 3.
+    Parameters
+    ----------
+    dodgr:
+        The degree-ordered directed graph built by :meth:`DODGraph.build`.
+    callback:
+        ``callback(ctx, tri)`` executed for every triangle on the rank where
+        it is identified (the owner of ``q`` in the push phase, the pivot's
+        rank in the pull phase).  ``None`` counts triangles only.
+    kernel:
+        Intersection kernel name (``merge_path``, ``binary_search``,
+        ``hash``); the paper's system uses merge-path.
+    reset_stats:
+        Clear the world's counters before running so the report reflects
+        only this survey.
+    callback_compute_units:
+        Abstract compute units charged per identified triangle when a
+        callback is supplied (see
+        :data:`~repro.core.survey.DEFAULT_CALLBACK_COMPUTE_UNITS`).
+    batched:
+        Run the batched engine: the push phase coalesces candidate pushes
+        per ``(destination rank, q)`` exactly like
+        :func:`~repro.core.survey.triangle_survey_push`, and each pull-phase
+        delivery intersects all of its waiting pivots in one vectorized
+        batch-kernel call.  The dry run and the pulled-payload messages are
+        unchanged, so communication accounting stays byte-identical.
+
+    The returned report carries the three-phase breakdown (dry run / push /
+    pull) and the number of pulled adjacency lists used for Table 3.
     """
     world = dodgr.world
     nranks = world.nranks
@@ -154,10 +186,71 @@ def triangle_survey_push_pull(
                         ),
                     )
 
+    def _pull_deliver_batched_handler(
+        ctx, q: Any, meta_q: Any, adjacency_q: List[tuple]
+    ) -> None:
+        """Pull-phase delivery, batched: intersect all waiting pivots at once.
+
+        ``Adj^m_+(q)`` arrives once per requesting rank exactly as in the
+        legacy path; instead of one merge per waiting pivot, every pivot's
+        suffix becomes one segment of a single batch-kernel call against the
+        pulled list (mapped to dense ``<+`` order ids).
+        """
+        ctx.add_counter("vertices_pulled", 1)
+        csr = dodgr.csr(ctx)
+        order_ids = dodgr.order_ids()
+        pulled_ids = [order_ids[entry[0]] for entry in adjacency_q]
+        rows: List[int] = []
+        starts: List[int] = []
+        ends: List[int] = []
+        for p, q_index in pivots_by_target[ctx.rank].get(q, ()):
+            row = csr.row_of(p)
+            if row is None:
+                continue
+            lo, hi = csr.row_slice(row)
+            start = lo + q_index + 1
+            ctx.add_counter("wedge_checks", hi - start)
+            rows.append(row)
+            starts.append(start)
+            ends.append(hi)
+        if not rows:
+            return
+        candidate_ids, offsets = _concat_segments(csr.tgt_ids, starts, ends)
+        result = batch_kernel(candidate_ids, offsets, pulled_ids)
+        ctx.add_compute(result.comparisons)
+        for wedge, cand_idx, adj_idx in result.matches:
+            r, _d_r, meta_pr, meta_r = csr.entries[starts[wedge] + cand_idx]
+            meta_qr = adjacency_q[adj_idx][2]
+            row = rows[wedge]
+            ctx.add_counter("triangles_found", 1)
+            if callback is not None:
+                ctx.add_compute(per_triangle_compute)
+                callback(
+                    ctx,
+                    TriangleMetadata(
+                        p=csr.row_vertices[row], q=q, r=r,
+                        meta_p=csr.row_meta[row], meta_q=meta_q, meta_r=meta_r,
+                        meta_pq=csr.entries[starts[wedge] - 1][2],
+                        meta_pr=meta_pr, meta_qr=meta_qr,
+                    ),
+                )
+
+    # Handler registration order is identical in both modes so that handler
+    # ids — and therefore the serialized size of every dry-run message and
+    # the accounted size of every push message — match the legacy run.
+    batch_kernel = BATCH_KERNELS[kernel] if batched else None
     h_propose = world.register_handler(_propose_handler)
     _h_advise = world.register_handler(_advise_push_handler)
-    h_intersect = world.register_handler(_intersect_handler)
-    h_pull_deliver = world.register_handler(_pull_deliver_handler)
+    if batched:
+        h_intersect = world.register_handler(
+            _make_batched_intersect_handler(
+                dodgr, batch_kernel, callback, per_triangle_compute
+            )
+        )
+        h_pull_deliver = world.register_handler(_pull_deliver_batched_handler)
+    else:
+        h_intersect = world.register_handler(_intersect_handler)
+        h_pull_deliver = world.register_handler(_pull_deliver_handler)
 
     host_start = time.perf_counter()
 
@@ -191,23 +284,34 @@ def triangle_survey_push_pull(
     # Phase 2: Push phase (skip targets that will be pulled).
     # ------------------------------------------------------------------
     world.begin_phase(PUSH_PHASE)
-    for ctx in world.ranks:
-        rank = ctx.rank
-        store = dodgr.local_store(ctx)
-        allowed = push_targets[rank]
-        for p, record in store.items():
-            adjacency = record["adj"]
-            if len(adjacency) < 2:
-                continue
-            meta_p = record["meta"]
-            for i in range(len(adjacency) - 1):
-                q, _d_q, meta_pq, _meta_q = adjacency[i]
-                if q not in allowed:
+    if batched:
+        payload_overhead = _legacy_push_payload_overhead(h_intersect.handler_id)
+        for ctx in world.ranks:
+            _drive_batched_push(
+                ctx,
+                dodgr.csr(ctx),
+                h_intersect,
+                payload_overhead,
+                allowed=push_targets[ctx.rank],
+            )
+    else:
+        for ctx in world.ranks:
+            rank = ctx.rank
+            store = dodgr.local_store(ctx)
+            allowed = push_targets[rank]
+            for p, record in store.items():
+                adjacency = record["adj"]
+                if len(adjacency) < 2:
                     continue
-                candidates = [
-                    (entry[0], entry[1], entry[2]) for entry in adjacency[i + 1 :]
-                ]
-                ctx.async_call(dodgr.owner(q), h_intersect, q, p, meta_p, meta_pq, candidates)
+                meta_p = record["meta"]
+                for i in range(len(adjacency) - 1):
+                    q, _d_q, meta_pq, _meta_q = adjacency[i]
+                    if q not in allowed:
+                        continue
+                    candidates = [
+                        (entry[0], entry[1], entry[2]) for entry in adjacency[i + 1 :]
+                    ]
+                    ctx.async_call(dodgr.owner(q), h_intersect, q, p, meta_p, meta_pq, candidates)
     world.barrier()
 
     # ------------------------------------------------------------------
@@ -248,7 +352,11 @@ def triangle_survey(
     algorithm: str = "push_pull",
     **kwargs: Any,
 ) -> SurveyReport:
-    """Dispatch to the requested survey algorithm (``"push"`` or ``"push_pull"``)."""
+    """Dispatch to the requested survey algorithm (``"push"`` or ``"push_pull"``).
+
+    Remaining keyword arguments — including ``batched=True`` to select the
+    coalesced CSR engine — are forwarded to the chosen survey function.
+    """
     if algorithm == "push":
         from .survey import triangle_survey_push
 

@@ -14,18 +14,48 @@ destination rank's :class:`~repro.runtime.world.RankContext` and ``tri`` is a
 purely through side effects (distributed counting sets, per-rank counters,
 files); the survey itself returns only telemetry (a
 :class:`~repro.core.results.SurveyReport`).
+
+Batched engine (``batched=True``)
+---------------------------------
+
+The legacy driver serializes, buffers, delivers and intersects one wedge
+check at a time.  The batched engine extends the conveyor/YGM aggregation
+idea one layer up, from the wire into the compute: every candidate suffix a
+rank wants to push to the same ``(destination rank, q)`` pair is coalesced
+into a *single* batched RPC, and the owner of ``q`` intersects all of those
+suffixes against ``Adj^m_+(q)`` in one vectorized
+:func:`~repro.core.intersection.merge_path_batch` call over the
+:class:`~repro.graph.dodgr.CSRAdjacency` arrays.  Observable behaviour is
+contractually identical to the legacy path — same triangles, same callback
+invocations, same per-phase counters, and byte-identical Table 4
+communication accounting (each coalesced wedge is accounted as the exact
+legacy message it replaces via
+:meth:`~repro.runtime.world.RankContext.account_rpc`) — only host wall-clock
+changes.  One bound on the contract: if the *callback itself* sends RPCs
+mid-survey, all totals (RPC counts, payload bytes, compute) still match,
+but those follow-on messages can land in different flush windows, shifting
+``wire_messages`` and the per-flush envelope bytes; see
+:class:`~repro.runtime.world.BatchedCall` for why, and
+``tests/core/test_batched_survey.py`` for the exact invariants pinned in
+each regime.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..graph.degree import order_key
-from ..graph.dodgr import DODGraph, entry_key
+from ..graph.dodgr import CSRAdjacency, DODGraph, entry_key
 from ..graph.metadata import TriangleMetadata
-from .intersection import INTERSECTION_KERNELS
+from ..runtime.serialization import dumps, uvarint_size
+from .intersection import BATCH_KERNELS, INTERSECTION_KERNELS
 from .results import SurveyReport
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the list fallback
+    _np = None
 
 __all__ = [
     "triangle_survey_push",
@@ -54,6 +84,169 @@ def _candidate_key(candidate: tuple) -> tuple:
     return order_key(candidate[0], candidate[1])
 
 
+# ---------------------------------------------------------------------------
+# Batched engine internals (shared with the Push-Pull driver)
+# ---------------------------------------------------------------------------
+
+
+def _concat_segments(ids, starts: List[int], ends: List[int]):
+    """Concatenate ``ids[s:e]`` slices into one flat array plus offsets.
+
+    The CSR/ragged layout consumed by the batch kernels: segment ``w``
+    occupies ``flat[offsets[w]:offsets[w + 1]]``.
+    """
+    if _np is not None:
+        starts_arr = _np.asarray(starts, dtype=_np.int64)
+        lengths = _np.asarray(ends, dtype=_np.int64) - starts_arr
+        offsets = _np.concatenate(([0], _np.cumsum(lengths)))
+        total = int(offsets[-1])
+        if total == 0:
+            return _np.empty(0, dtype=_np.int64), offsets
+        index = _np.arange(total, dtype=_np.int64) + _np.repeat(
+            starts_arr - offsets[:-1], lengths
+        )
+        return _np.asarray(ids)[index], offsets
+    flat: List[int] = []
+    offsets_list = [0]
+    for start, end in zip(starts, ends):
+        flat.extend(ids[start:end])
+        offsets_list.append(len(flat))
+    return flat, offsets_list
+
+
+def _legacy_push_payload_overhead(handler_id: int) -> int:
+    """Fixed serialized bytes of a legacy push RPC around its variable parts.
+
+    A legacy wedge message is ``dumps((handler_id, [q, p, meta_p, meta_pq,
+    candidates]))``: 2 framing bytes for the outer pair, the handler id, 2
+    framing bytes for the argument list, and 1 tag byte for the candidate
+    list (whose length prefix and entries are accounted per wedge).
+    """
+    return 5 + len(dumps(handler_id))
+
+
+def _make_batched_intersect_handler(
+    dodgr: DODGraph,
+    batch_kernel,
+    callback: Optional["TriangleCallback"],
+    per_triangle_compute: int,
+):
+    """Build the owner-side handler of one batched candidate push.
+
+    The handler receives every wedge a source rank generated for one target
+    vertex ``q``: ``rows``/``qpositions`` locate the pivots and their ``q``
+    entries inside the *source* rank's :class:`CSRAdjacency`, and each
+    pivot's candidate suffix is the edge range after ``qpositions[w]``.  All
+    suffixes are intersected against ``Adj^m_+(q)`` in one batch-kernel
+    call; matches close triangles exactly as in the legacy handler.
+    """
+
+    def _batched_intersect_handler(
+        ctx,
+        q: Any,
+        src_csr: CSRAdjacency,
+        rows: List[int],
+        qpositions: List[int],
+    ) -> None:
+        starts = [pos + 1 for pos in qpositions]
+        ends = [src_csr.indptr[row + 1] for row in rows]
+        ctx.add_counter(
+            "wedge_checks", sum(end - start for start, end in zip(starts, ends))
+        )
+        dest_csr = dodgr.csr(ctx)
+        q_row = dest_csr.row_of(q)
+        if q_row is None:
+            return
+        adj_lo, adj_hi = dest_csr.row_slice(q_row)
+        candidate_ids, offsets = _concat_segments(src_csr.tgt_ids, starts, ends)
+        result = batch_kernel(candidate_ids, offsets, dest_csr.tgt_ids[adj_lo:adj_hi])
+        ctx.add_compute(result.comparisons)
+        if not result.matches:
+            return
+        meta_q = dest_csr.row_meta[q_row]
+        for wedge, cand_idx, adj_idx in result.matches:
+            r, _d_r, meta_pr, _ = src_csr.entries[starts[wedge] + cand_idx]
+            _, _, meta_qr, meta_r = dest_csr.entries[adj_lo + adj_idx]
+            ctx.add_counter("triangles_found", 1)
+            if callback is not None:
+                ctx.add_compute(per_triangle_compute)
+                row = rows[wedge]
+                callback(
+                    ctx,
+                    TriangleMetadata(
+                        p=src_csr.row_vertices[row],
+                        q=q,
+                        r=r,
+                        meta_p=src_csr.row_meta[row],
+                        meta_q=meta_q,
+                        meta_r=meta_r,
+                        meta_pq=src_csr.entries[qpositions[wedge]][2],
+                        meta_pr=meta_pr,
+                        meta_qr=meta_qr,
+                    ),
+                )
+
+    return _batched_intersect_handler
+
+
+def _drive_batched_push(
+    ctx,
+    csr: CSRAdjacency,
+    handler,
+    payload_overhead: int,
+    allowed=None,
+) -> None:
+    """Walk one rank's pivots, accounting and coalescing its candidate pushes.
+
+    Every wedge is accounted (in legacy iteration order, so buffer flush
+    boundaries replay exactly) via ``ctx.account_rpc`` with the precise
+    serialized size of the per-wedge message it replaces, then appended to
+    its ``(destination rank, q)`` group; one batched RPC per group follows.
+    ``allowed`` restricts targets (the Push-Pull push phase skips targets
+    that will be pulled); ``None`` pushes to every target.
+    """
+    groups: Dict[Tuple[int, Any], Tuple[List[int], List[int], List[int]]] = {}
+    indptr = csr.indptr
+    entries = csr.entries
+    owners = csr.tgt_owner
+    tgt_sizes = csr.tgt_wire_sizes
+    row_sizes = csr.row_wire_sizes
+    for row in range(csr.num_rows):
+        lo, hi = indptr[row], indptr[row + 1]
+        if hi - lo < 2:
+            continue
+        row_overhead = payload_overhead + row_sizes[row]
+        for pos in range(lo, hi - 1):
+            q = entries[pos][0]
+            if allowed is not None and q not in allowed:
+                continue
+            dest = owners[pos]
+            size = (
+                row_overhead
+                + tgt_sizes[pos]
+                + uvarint_size(hi - 1 - pos)
+                + csr.suffix_wire_bytes(pos, hi)
+            )
+            ctx.account_rpc(dest, size)
+            group = groups.get((dest, q))
+            if group is None:
+                groups[(dest, q)] = group = ([], [], [0])
+            group[0].append(row)
+            group[1].append(pos)
+            group[2][0] += size
+    for (dest, q), (rows, qpositions, (group_bytes,)) in groups.items():
+        ctx.async_call_batched(
+            dest,
+            handler,
+            q,
+            csr,
+            rows,
+            qpositions,
+            virtual_rpcs=len(rows),
+            virtual_bytes=group_bytes,
+        )
+
+
 def triangle_survey_push(
     dodgr: DODGraph,
     callback: Optional[TriangleCallback] = None,
@@ -62,6 +255,7 @@ def triangle_survey_push(
     graph_name: Optional[str] = None,
     phase_name: str = PUSH_PHASE,
     callback_compute_units: int = DEFAULT_CALLBACK_COMPUTE_UNITS,
+    batched: bool = False,
 ) -> SurveyReport:
     """Run the Push-Only triangle survey over ``dodgr``.
 
@@ -80,12 +274,27 @@ def triangle_survey_push(
         Clear the world's counters before running so the report reflects only
         this survey (set False to accumulate, e.g. when measuring end-to-end
         pipelines including construction).
+    phase_name:
+        Name of the measurement phase the survey's counters accumulate under
+        (default ``"push"``).
+    callback_compute_units:
+        Abstract compute units charged per identified triangle when a
+        callback is supplied (see :data:`DEFAULT_CALLBACK_COMPUTE_UNITS`).
+    batched:
+        Run the batched engine: candidate pushes are coalesced per
+        ``(destination rank, q)`` and intersected with the vectorized batch
+        kernels over the CSR adjacency.  Identical results and identical
+        communication/compute accounting (byte-identical in every counter
+        unless the callback itself sends RPCs, in which case only the
+        flush-window split of follow-on messages may shift — see the module
+        docstring), faster host wall-clock.
     """
     world = dodgr.world
-    intersect = INTERSECTION_KERNELS[kernel]
     per_triangle_compute = callback_compute_units if callback is not None else 0
     if reset_stats:
         world.reset_stats()
+
+    intersect = INTERSECTION_KERNELS[kernel]
 
     # ------------------------------------------------------------------
     # RPC handler executed on Rank(q): intersect the pushed candidates with
@@ -128,14 +337,27 @@ def triangle_survey_push(
                     ),
                 )
 
-    handler = world.register_handler(_intersect_handler)
+    if batched:
+        handler = world.register_handler(
+            _make_batched_intersect_handler(
+                dodgr, BATCH_KERNELS[kernel], callback, per_triangle_compute
+            )
+        )
+        payload_overhead = _legacy_push_payload_overhead(handler.handler_id)
+    else:
+        handler = world.register_handler(_intersect_handler)
 
     # ------------------------------------------------------------------
-    # Driver loop: every rank walks its local pivots and pushes suffixes.
+    # Driver loop: every rank walks its local pivots and pushes suffixes —
+    # one coalesced RPC per (destination, q) group when batched, one RPC
+    # per wedge otherwise.
     # ------------------------------------------------------------------
     host_start = time.perf_counter()
     world.begin_phase(phase_name)
     for ctx in world.ranks:
+        if batched:
+            _drive_batched_push(ctx, dodgr.csr(ctx), handler, payload_overhead)
+            continue
         store = dodgr.local_store(ctx)
         for p, record in store.items():
             adjacency = record["adj"]

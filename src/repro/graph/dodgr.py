@@ -20,18 +20,35 @@ Adjacency entries in this reproduction are tuples
 The target degree ``d(v)`` is kept because the ``<+`` comparison (and hence
 the merge-path intersection order) needs it; this mirrors the "small constant
 amount of additional memory per edge" the paper mentions.
+
+Two views of the same store coexist:
+
+* the *record* view behind :meth:`DODGraph.local_store` — one dict per rank
+  mapping each vertex to ``{"meta", "degree", "adj"}``, mutable during
+  construction; this is what the legacy per-wedge survey walks, and
+* a *CSR* view behind :meth:`DODGraph.csr` — per-rank
+  :class:`CSRAdjacency` snapshots flattening every adjacency list into
+  contiguous arrays (neighbour order-ids, owners, serialized-size prefix
+  sums, metadata indices), built lazily once construction is finished.  The
+  batched survey engine iterates and intersects over these arrays.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
+from ..runtime.serialization import dumps
 from ..runtime.world import RankContext, World
 from .degree import order_key
 from .distributed_graph import DistributedGraph
 from .partition import Partitioner
 
-__all__ = ["DODGraph", "AdjEntry", "entry_key"]
+try:  # NumPy backs the CSR arrays when available; plain lists otherwise.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the list fallback
+    _np = None
+
+__all__ = ["DODGraph", "CSRAdjacency", "AdjEntry", "entry_key"]
 
 #: An Adj^m_+ entry: (target vertex, target degree, edge metadata, target vertex metadata)
 AdjEntry = Tuple[Hashable, int, Any, Any]
@@ -40,6 +57,120 @@ AdjEntry = Tuple[Hashable, int, Any, Any]
 def entry_key(entry: AdjEntry) -> Tuple[int, int, str]:
     """Sort key ordering adjacency entries by the ``<+`` relation of their target."""
     return order_key(entry[0], entry[1])
+
+
+class CSRAdjacency:
+    """Flat CSR snapshot of one rank's Adj^m_+ store (Section 4.2 layout).
+
+    Where the record view keeps one Python list of tuples per vertex, this
+    view concatenates every local adjacency into rank-contiguous arrays, the
+    in-memory analogue of the packed per-rank adjacency TriPoll's C++ stores
+    inside its distributed map.  Row ``i`` describes local vertex
+    ``row_vertices[i]``; its entries occupy ``indptr[i]:indptr[i + 1]`` in
+    every per-edge array.  Per-edge data is split into
+
+    * ``tgt_ids`` — the target's dense rank in the global ``<+`` order
+      (int64 when NumPy is available).  Rows are sorted ascending, and id
+      equality is vertex equality, so batched kernels can intersect rows
+      with integer comparisons only;
+    * ``tgt_owner`` — precomputed owner rank of each target (partition map
+      lookups hoisted out of the per-wedge hot loop);
+    * ``entries`` — the original ``(v, d(v), meta(u, v), meta(v))`` tuples,
+      shared with the record view, indexed by the same edge offsets (the
+      "metadata-index" array: kernels match on ids, then fetch metadata by
+      edge index);
+    * exact serialized sizes (``cand_size_cumsum``, ``tgt_wire_sizes``,
+      ``row_wire_sizes``) of the fragments a legacy per-wedge push message
+      would carry, so the batched engine can account the byte-identical
+      Table 4 communication volume without serializing each wedge.
+
+    The snapshot assumes the store is finished mutating (post
+    :meth:`DODGraph.sort_adjacency`); :class:`DODGraph` invalidates cached
+    snapshots if construction touches the records again.
+    """
+
+    __slots__ = (
+        "num_rows",
+        "num_edges",
+        "vertex_rows",
+        "row_vertices",
+        "row_meta",
+        "row_degree",
+        "row_wire_sizes",
+        "indptr",
+        "entries",
+        "tgt_ids",
+        "tgt_owner",
+        "tgt_wire_sizes",
+        "cand_size_cumsum",
+    )
+
+    def __init__(
+        self,
+        store: Dict[Hashable, Dict[str, Any]],
+        order_ids: Dict[Hashable, int],
+        owner_of: Any,
+    ) -> None:
+        self.num_rows = len(store)
+        self.vertex_rows: Dict[Hashable, int] = {}
+        self.row_vertices: List[Hashable] = []
+        self.row_meta: List[Any] = []
+        self.row_degree: List[int] = []
+        self.row_wire_sizes: List[int] = []
+        indptr: List[int] = [0]
+        entries: List[AdjEntry] = []
+        tgt_ids: List[int] = []
+        tgt_owner: List[int] = []
+        tgt_wire_sizes: List[int] = []
+        cand_cumsum: List[int] = [0]
+        running = 0
+        for vertex, record in store.items():
+            self.vertex_rows[vertex] = len(self.row_vertices)
+            self.row_vertices.append(vertex)
+            self.row_meta.append(record["meta"])
+            self.row_degree.append(record["degree"])
+            self.row_wire_sizes.append(len(dumps(vertex)) + len(dumps(record["meta"])))
+            for entry in record["adj"]:
+                entries.append(entry)
+                tgt_ids.append(order_ids[entry[0]])
+                tgt_owner.append(owner_of(entry[0]))
+                sz_target = len(dumps(entry[0]))
+                sz_degree = len(dumps(entry[1]))
+                sz_edge_meta = len(dumps(entry[2]))
+                # One candidate tuple (r, d(r), meta(p, r)) on the legacy
+                # wire: 2 framing bytes (tuple tag + arity) plus its fields.
+                running += 2 + sz_target + sz_degree + sz_edge_meta
+                cand_cumsum.append(running)
+                tgt_wire_sizes.append(sz_target + sz_edge_meta)
+            indptr.append(len(entries))
+        self.num_edges = len(entries)
+        self.indptr = indptr
+        self.entries = entries
+        self.tgt_owner = tgt_owner
+        self.tgt_wire_sizes = tgt_wire_sizes
+        self.cand_size_cumsum = cand_cumsum
+        if _np is not None:
+            self.tgt_ids = _np.asarray(tgt_ids, dtype=_np.int64)
+        else:
+            self.tgt_ids = tgt_ids
+
+    # ------------------------------------------------------------------
+    def row_of(self, vertex: Hashable) -> Optional[int]:
+        """Row index of a local vertex, or None when the rank does not own it."""
+        return self.vertex_rows.get(vertex)
+
+    def row_slice(self, row: int) -> Tuple[int, int]:
+        """Edge-array extent ``[lo, hi)`` of one row."""
+        return self.indptr[row], self.indptr[row + 1]
+
+    def row_ids(self, row: int):
+        """The row's target order-ids (sorted ascending)."""
+        lo, hi = self.indptr[row], self.indptr[row + 1]
+        return self.tgt_ids[lo:hi]
+
+    def suffix_wire_bytes(self, qpos: int, hi: int) -> int:
+        """Serialized bytes of the candidate tuples in edge range ``(qpos, hi)``."""
+        return self.cand_size_cumsum[hi] - self.cand_size_cumsum[qpos + 1]
 
 
 class DODGraph:
@@ -64,6 +195,9 @@ class DODGraph:
         self._h_offer_edge = world.register_handler(
             self._handle_offer_edge, f"{self.name}.offer_edge"
         )
+        #: lazily built derived views (cleared whenever records mutate)
+        self._order_ids: Optional[Dict[Hashable, int]] = None
+        self._csr: Dict[int, CSRAdjacency] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -116,6 +250,7 @@ class DODGraph:
         d_v = record["degree"]
         if order_key(v, d_v) < order_key(u, d_u):
             record["adj"].append((u, d_u, edge_meta, meta_u))
+            self._invalidate_derived()
             ctx.add_compute(1)
 
     @classmethod
@@ -184,6 +319,48 @@ class DODGraph:
         for rank in range(self.world.nranks):
             for record in self.local_store(rank).values():
                 record["adj"].sort(key=entry_key)
+        self._invalidate_derived()
+
+    # ------------------------------------------------------------------
+    # Derived flat views (batched engine backend)
+    # ------------------------------------------------------------------
+    def _invalidate_derived(self) -> None:
+        self._order_ids = None
+        self._csr.clear()
+
+    def order_ids(self) -> Dict[Hashable, int]:
+        """Dense integer ranks of every vertex in the global ``<+`` order.
+
+        Ids are assigned by sorting all stored vertices by
+        :func:`~repro.graph.degree.order_key`, so ``id(u) < id(v)`` iff
+        ``u <+ v`` and id equality implies vertex identity.  This collapses
+        the composite ``(degree, hash, repr)`` comparison into single-int
+        comparisons that the vectorized batch kernels can use directly.
+        Built lazily over the finished DODGr and cached.
+        """
+        if self._order_ids is None:
+            keyed = [
+                (order_key(vertex, record["degree"]), vertex)
+                for rank in range(self.world.nranks)
+                for vertex, record in self.local_store(rank).items()
+            ]
+            keyed.sort(key=lambda kv: kv[0])
+            self._order_ids = {vertex: i for i, (_key, vertex) in enumerate(keyed)}
+        return self._order_ids
+
+    def csr(self, rank_or_ctx: int | RankContext) -> CSRAdjacency:
+        """The rank's :class:`CSRAdjacency` snapshot (lazily built, cached).
+
+        Exposes the same per-rank store as :meth:`local_store` as contiguous
+        arrays for the batched engine; invalidated automatically if the
+        record view mutates (new edges offered, adjacency re-sorted).
+        """
+        rank = rank_or_ctx.rank if isinstance(rank_or_ctx, RankContext) else rank_or_ctx
+        snapshot = self._csr.get(rank)
+        if snapshot is None:
+            snapshot = CSRAdjacency(self.local_store(rank), self.order_ids(), self.owner)
+            self._csr[rank] = snapshot
+        return snapshot
 
     # ------------------------------------------------------------------
     # Queries

@@ -19,6 +19,24 @@ This module reproduces that layer for the simulated runtime:
 
 The number of wire messages and wire bytes recorded here are the quantities
 reported as "Communication Volume" in Table 4 of the paper.
+
+Virtual streams (batched engine support)
+----------------------------------------
+
+The batched survey engine coalesces many logical per-wedge RPCs into one
+physical batched call, but Table 4 numbers must not move: the batch stands in
+for a specific stream of legacy messages whose exact serialized sizes are
+known.  :meth:`BufferBank.send_virtual` accounts one such legacy-equivalent
+message — per-RPC counters, local/remote byte counters, buffer occupancy and
+therefore flush boundaries behave exactly as if the legacy payload had been
+appended — without materializing any bytes.  A buffer whose occupancy is
+purely virtual still flushes into an (empty) wire message of the accumulated
+virtual size, so ``wire_messages``/``wire_bytes`` stay byte-identical to the
+legacy run for all traffic issued by the driver loops.  The batched payload
+itself travels out of band (see
+:meth:`repro.runtime.world.RankContext.async_call_batched`, including the
+one timing caveat that bounds the contract when handlers send further
+RPCs).
 """
 
 from __future__ import annotations
@@ -83,13 +101,30 @@ class MessageBuffer:
         self._pending_bytes += len(payload)
         return self._pending_bytes >= self.flush_threshold_bytes
 
+    def append_virtual(self, nbytes: int) -> bool:
+        """Account ``nbytes`` of occupancy without queueing a deliverable message.
+
+        Used by the batched engine to replay the buffer behaviour (occupancy,
+        flush boundaries, wire sizes) of a legacy message whose payload is
+        carried by a batched call instead.  Returns True when the buffer is
+        now above threshold, exactly like :meth:`append`.
+        """
+        if nbytes < 0:
+            raise ValueError("virtual message size must be non-negative")
+        self._pending_bytes += nbytes
+        return self._pending_bytes >= self.flush_threshold_bytes
+
     def drain(self) -> Tuple[List[BufferedMessage], int]:
-        """Remove and return all pending messages and their total byte size."""
+        """Remove and return all pending messages and their total byte size.
+
+        The byte total includes virtual occupancy from :meth:`append_virtual`;
+        a drain that returns no messages can still carry a positive size.
+        """
         messages = self._pending
         nbytes = self._pending_bytes
         self._pending = []
         self._pending_bytes = 0
-        if messages:
+        if messages or nbytes:
             self.flush_count += 1
         return messages, nbytes
 
@@ -176,15 +211,38 @@ class BufferBank:
         if buf.append(payload, dest=dest):
             self._flush_buffer(buf)
 
+    def send_virtual(self, dest: int, nbytes: int) -> None:
+        """Account one legacy-equivalent RPC of ``nbytes`` without a payload.
+
+        Performs every send-side effect :meth:`send` would for a payload of
+        that exact serialized size — RPC count, local/remote byte counters,
+        buffer occupancy, threshold flushes — so a batched engine that knows
+        the sizes of the per-message stream it replaces keeps Table 4
+        communication accounting byte-identical.  The receive-side accounting
+        of the replaced messages travels with the batched call.
+        """
+        if dest < 0 or dest >= self.nranks:
+            raise ValueError(f"destination rank {dest} out of range [0, {self.nranks})")
+        phase = self.stats.current
+        phase.rpcs_sent += 1
+        if dest == self.rank:
+            phase.bytes_sent_local += nbytes
+            return
+        phase.bytes_sent_remote += nbytes
+        buf = self.buffer_for(dest)
+        if buf.append_virtual(nbytes):
+            self._flush_buffer(buf)
+
     # ------------------------------------------------------------------
     def _flush_buffer(self, buf: MessageBuffer) -> None:
         messages, nbytes = buf.drain()
-        if not messages:
+        if not messages and not nbytes:
             return
         phase = self.stats.current
         phase.wire_messages += 1
         phase.wire_bytes += nbytes + WIRE_ENVELOPE_BYTES
-        self._deliver(messages)
+        if messages:
+            self._deliver(messages)
 
     def flush_all(self) -> None:
         """Force-flush every non-empty buffer (called at barriers)."""
@@ -196,6 +254,12 @@ class BufferBank:
 
     def pending_messages(self) -> int:
         return sum(len(buf) for buf in self._buffers.values())
+
+    def has_pending(self) -> bool:
+        """True when any buffer holds undelivered messages or virtual bytes."""
+        return any(
+            len(buf) > 0 or buf.pending_bytes > 0 for buf in self._buffers.values()
+        )
 
     def destinations(self) -> List[int]:
         return sorted(dest for dest, buf in self._buffers.items() if len(buf) > 0)

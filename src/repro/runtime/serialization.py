@@ -36,6 +36,7 @@ __all__ = [
     "dumps",
     "loads",
     "serialized_size",
+    "uvarint_size",
     "register_record",
     "registered_records",
     "clear_registry",
@@ -358,3 +359,18 @@ def loads(payload: bytes | bytearray | memoryview) -> Any:
 def serialized_size(value: Any) -> int:
     """Return the number of bytes ``value`` occupies on the simulated wire."""
     return len(dumps(value))
+
+
+def uvarint_size(value: int) -> int:
+    """Bytes an unsigned varint occupies (container length prefixes).
+
+    Lets size-accounting code (the batched survey engine) compute the exact
+    framing overhead of a list of known length without encoding it.
+    """
+    if value < 0:
+        raise SerializationError("uvarint cannot encode negative values")
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size

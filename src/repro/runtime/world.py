@@ -27,18 +27,54 @@ identical communication statistics.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .message_buffer import DEFAULT_FLUSH_THRESHOLD, BufferBank, BufferedMessage
 from .network_model import CATALYST_LIKE, CostModel, SimulatedTime, simulate_time
 from .rpc import RpcHandle, RpcRegistry
 from .stats import WorldStats
 
-__all__ = ["World", "RankContext", "WorldError", "stable_hash"]
+__all__ = ["World", "RankContext", "WorldError", "BatchedCall", "stable_hash"]
 
 
 class WorldError(Exception):
     """Raised for invalid world operations (bad ranks, re-entrant barriers, ...)."""
+
+
+@dataclass
+class BatchedCall:
+    """One coalesced RPC standing in for ``virtual_rpcs`` legacy messages.
+
+    The batched engine accounts the wire behaviour of the replaced messages
+    through :meth:`BufferBank.send_virtual` on the send side; this carrier
+    holds the receive-side accounting: executing it counts as
+    ``virtual_rpcs`` executed RPCs and ``virtual_bytes`` received payload
+    bytes (for remote sources).  Arguments are delivered by reference — the
+    batched driver builds them fresh per call and never mutates them
+    afterwards, so skipping the codec is safe and is precisely where the
+    host-time win over the per-wedge path comes from.
+
+    One timing caveat bounds the equivalence contract: a batched call
+    executes in the barrier's first delivery sweep, whereas the legacy
+    messages it replaces may execute across several sweeps (whenever their
+    buffer happens to flush).  Handlers that send *further* RPCs therefore
+    append them to the outgoing buffers at different fill states than in a
+    legacy run: every per-rank total (RPC counts, payload bytes sent and
+    received, compute) still matches exactly, but the assignment of those
+    follow-on messages to flush windows — ``wire_messages`` and the
+    per-flush envelope component of ``wire_bytes`` — can shift, just as
+    YGM's node-level aggregation shifts it.  Surveys whose callbacks do
+    only local work (the common counting case) are byte-identical in every
+    counter.
+    """
+
+    source: int
+    dest: int
+    handle: RpcHandle
+    args: Tuple[Any, ...]
+    virtual_rpcs: int
+    virtual_bytes: int
 
 
 class RankContext:
@@ -90,6 +126,43 @@ class RankContext:
         self.async_call(self.rank, func, *args)
 
     # ------------------------------------------------------------------
+    # Batched engine support
+    # ------------------------------------------------------------------
+    def account_rpc(self, dest: int, nbytes: int) -> None:
+        """Account one legacy-equivalent RPC of serialized size ``nbytes``.
+
+        Send-side half of the batched-engine accounting contract: counters
+        and buffer/flush behaviour are identical to ``async_call`` with a
+        payload of that exact size, but nothing is delivered.  Pair with
+        :meth:`async_call_batched`, which carries the receive-side counts.
+        """
+        self.buffers.send_virtual(dest, nbytes)
+
+    def async_call_batched(
+        self,
+        dest: int,
+        func: Callable[..., Any] | RpcHandle,
+        *args: Any,
+        virtual_rpcs: int,
+        virtual_bytes: int,
+    ) -> None:
+        """Fire one batched RPC standing in for ``virtual_rpcs`` legacy calls.
+
+        The call executes ``func(dest_ctx, *args)`` once on ``dest`` at the
+        next barrier, with arguments passed by reference (no codec); on
+        execution it is accounted as ``virtual_rpcs`` executed RPCs carrying
+        ``virtual_bytes`` of received payload.  The caller must have already
+        accounted the send side of every replaced message via
+        :meth:`account_rpc`, and must not mutate ``args`` after the call.
+        """
+        if dest < 0 or dest >= self.world.nranks:
+            raise WorldError(f"destination rank {dest} out of range [0, {self.world.nranks})")
+        handle = self.world.registry.resolve(func)
+        self.world._enqueue_batched(
+            BatchedCall(self.rank, dest, handle, args, virtual_rpcs, virtual_bytes)
+        )
+
+    # ------------------------------------------------------------------
     def add_compute(self, units: int) -> None:
         """Account abstract local computation (merge comparisons, hash probes)."""
         self.stats.current.compute_units += units
@@ -139,7 +212,9 @@ class World:
         self.ranks_per_node = ranks_per_node
         self.stats = WorldStats(nranks)
         self.registry = RpcRegistry()
-        self._inboxes: List[Deque[BufferedMessage]] = [deque() for _ in range(nranks)]
+        self._inboxes: List[Deque[BufferedMessage | BatchedCall]] = [
+            deque() for _ in range(nranks)
+        ]
         self.ranks: List[RankContext] = [RankContext(self, r) for r in range(nranks)]
         self._phase_order: List[str] = []
         self._in_delivery = False
@@ -202,9 +277,19 @@ class World:
         for msg in messages:
             self._inboxes[msg.dest].append(msg)
 
-    def _execute_message(self, msg: BufferedMessage) -> None:
+    def _enqueue_batched(self, call: BatchedCall) -> None:
+        self._inboxes[call.dest].append(call)
+
+    def _execute_message(self, msg: BufferedMessage | BatchedCall) -> None:
         ctx = self.ranks[msg.dest]
         phase = ctx.stats.current
+        if isinstance(msg, BatchedCall):
+            phase.rpcs_executed += msg.virtual_rpcs
+            if msg.source != msg.dest:
+                phase.bytes_received += msg.virtual_bytes
+            handler = self.registry.handler(msg.handle.handler_id)
+            handler(ctx, *msg.args)
+            return
         phase.rpcs_executed += 1
         if msg.source != msg.dest:
             phase.bytes_received += len(msg.payload)
@@ -241,7 +326,7 @@ class World:
                 self._drain_inboxes()
                 flushed_any = False
                 for ctx in self.ranks:
-                    if ctx.buffers.pending_messages() > 0:
+                    if ctx.buffers.has_pending():
                         ctx.buffers.flush_all()
                         flushed_any = True
                 if not flushed_any and not any(self._inboxes):

@@ -1,0 +1,134 @@
+"""Parity tests: batched kernels vs their scalar counterparts.
+
+The batch kernels are contractually *aggregates* of the scalar kernels: per
+segment they must return exactly the matches the scalar kernel would, and
+their comparison total must equal the sum of the scalar counts — otherwise
+a batched survey would drift from the legacy path's simulated-cost
+accounting.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.intersection import (
+    BATCH_KERNELS,
+    INTERSECTION_KERNELS,
+    BatchIntersectionResult,
+    _batch_via_scalar,
+    binary_search_batch,
+    hash_batch,
+    merge_path_batch,
+)
+
+identity = lambda x: x  # noqa: E731 - key function for plain int keys
+
+KERNEL_PAIRS = [
+    (name, INTERSECTION_KERNELS[name], BATCH_KERNELS[name])
+    for name in ("merge_path", "hash", "binary_search")
+]
+KERNEL_IDS = [name for name, _, _ in KERNEL_PAIRS]
+
+
+def flatten(segments):
+    flat = [key for segment in segments for key in segment]
+    offsets = [0]
+    for segment in segments:
+        offsets.append(offsets[-1] + len(segment))
+    return flat, offsets
+
+
+def scalar_reference(scalar_kernel, segments, adjacency):
+    """One scalar call per segment: the batch kernels' defining contract."""
+    matches, comparisons = [], 0
+    for seg_index, segment in enumerate(segments):
+        result = scalar_kernel(segment, adjacency, identity, identity)
+        comparisons += result.comparisons
+        matches.extend((seg_index, i, j) for i, j in result.matches)
+    return matches, comparisons
+
+
+@pytest.mark.parametrize("name,scalar,batch", KERNEL_PAIRS, ids=KERNEL_IDS)
+class TestScalarParity:
+    def assert_parity(self, scalar, batch, segments, adjacency):
+        flat, offsets = flatten(segments)
+        expected_matches, expected_comparisons = scalar_reference(
+            scalar, segments, adjacency
+        )
+        result = batch(flat, offsets, adjacency)
+        assert list(result) == expected_matches
+        assert result.comparisons == expected_comparisons
+
+    def test_basic(self, name, scalar, batch):
+        segments = [[1, 3, 5, 7, 9], [2, 3, 4], [40, 41]]
+        self.assert_parity(scalar, batch, segments, [2, 3, 4, 7, 10])
+
+    def test_adversarial_empty_segment(self, name, scalar, batch):
+        self.assert_parity(scalar, batch, [[], [5], []], [1, 5, 9])
+
+    def test_adversarial_empty_adjacency(self, name, scalar, batch):
+        self.assert_parity(scalar, batch, [[1, 2], [3]], [])
+
+    def test_adversarial_no_segments(self, name, scalar, batch):
+        self.assert_parity(scalar, batch, [], [1, 2, 3])
+
+    def test_adversarial_single_entry_both_sides(self, name, scalar, batch):
+        self.assert_parity(scalar, batch, [[7]], [7])
+        self.assert_parity(scalar, batch, [[7]], [8])
+
+    def test_adversarial_all_matching(self, name, scalar, batch):
+        adjacency = list(range(0, 40, 2))
+        self.assert_parity(scalar, batch, [list(adjacency), list(adjacency)], adjacency)
+
+    def test_adversarial_disjoint_extremes(self, name, scalar, batch):
+        # Segments entirely below / entirely above the adjacency range hit
+        # the "one side exhausts immediately" paths of the cost formula.
+        self.assert_parity(scalar, batch, [[1, 2, 3], [90, 91]], [10, 20, 30])
+
+    def test_random_fuzz(self, name, scalar, batch):
+        rng = random.Random(1234)
+        for _ in range(200):
+            segments = []
+            for _ in range(rng.randint(0, 5)):
+                segments.append(sorted(rng.sample(range(80), rng.randint(0, 25))))
+            adjacency = sorted(rng.sample(range(80), rng.randint(0, 30)))
+            self.assert_parity(scalar, batch, segments, adjacency)
+
+
+class TestBatchResultShape:
+    def test_result_is_sized_and_iterable(self):
+        result = merge_path_batch([2, 5, 9], [0, 3], [5, 9, 11])
+        assert isinstance(result, BatchIntersectionResult)
+        assert len(result) == 2
+        assert list(result) == [(0, 1, 0), (0, 2, 1)]
+
+    def test_matches_ordered_by_segment_then_candidate(self):
+        result = hash_batch([5, 9, 5, 9], [0, 2, 4], [5, 9])
+        assert list(result) == [(0, 0, 0), (0, 1, 1), (1, 0, 0), (1, 1, 1)]
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            merge_path_batch([1, 2, 3], [0, 2], [1])
+        with pytest.raises(ValueError):
+            hash_batch([1, 2, 3], [1, 3], [1])
+
+
+class TestPythonFallback:
+    """The pure-Python path must agree with the vectorized path exactly."""
+
+    @pytest.mark.parametrize("name,scalar,batch", KERNEL_PAIRS, ids=KERNEL_IDS)
+    def test_fallback_matches_vectorized(self, name, scalar, batch):
+        rng = random.Random(77)
+        for _ in range(50):
+            segments = [
+                sorted(rng.sample(range(60), rng.randint(0, 20)))
+                for _ in range(rng.randint(0, 4))
+            ]
+            adjacency = sorted(rng.sample(range(60), rng.randint(0, 25)))
+            flat, offsets = flatten(segments)
+            vectorized = batch(flat, offsets, adjacency)
+            fallback = _batch_via_scalar(scalar, flat, offsets, adjacency)
+            assert list(vectorized) == list(fallback)
+            assert vectorized.comparisons == fallback.comparisons

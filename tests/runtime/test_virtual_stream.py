@@ -1,0 +1,157 @@
+"""Virtual-stream accounting and batched delivery (batched-engine runtime).
+
+``BufferBank.send_virtual`` must be byte-for-byte indistinguishable — in
+every counter the simulation reports — from ``send`` with a real payload of
+the same size, and ``RankContext.async_call_batched`` must account execution
+as the legacy messages it replaces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.message_buffer import (
+    WIRE_ENVELOPE_BYTES,
+    BufferBank,
+    MessageBuffer,
+)
+from repro.runtime.stats import RankStats
+from repro.runtime.world import World
+
+
+def make_bank(threshold=64, rank=0, nranks=4):
+    stats = RankStats(rank)
+    delivered = []
+    bank = BufferBank(
+        rank,
+        nranks,
+        stats,
+        deliver=delivered.extend,
+        flush_threshold_bytes=threshold,
+    )
+    return bank, stats, delivered
+
+
+class TestSendVirtualEquivalence:
+    @pytest.mark.parametrize(
+        "sizes",
+        [
+            [10, 10, 10],
+            [100],  # single oversized message: immediate flush
+            [63, 1, 5],  # flush exactly at the threshold boundary
+            [1] * 200,
+            [30, 40, 2, 90, 3, 3],
+        ],
+    )
+    def test_wire_counters_match_real_sends(self, sizes):
+        real_bank, real_stats, _ = make_bank()
+        virt_bank, virt_stats, _ = make_bank()
+        for size in sizes:
+            real_bank.send(2, b"x" * size)
+            virt_bank.send_virtual(2, size)
+        real_bank.flush_all()
+        virt_bank.flush_all()
+        real, virt = real_stats.current, virt_stats.current
+        assert virt.rpcs_sent == real.rpcs_sent
+        assert virt.bytes_sent_remote == real.bytes_sent_remote
+        assert virt.wire_messages == real.wire_messages
+        assert virt.wire_bytes == real.wire_bytes
+
+    def test_local_virtual_send_bypasses_wire(self):
+        bank, stats, delivered = make_bank()
+        bank.send_virtual(0, 500)
+        phase = stats.current
+        assert phase.rpcs_sent == 1
+        assert phase.bytes_sent_local == 500
+        assert phase.bytes_sent_remote == 0
+        assert phase.wire_messages == 0
+        assert delivered == []
+
+    def test_virtual_only_buffer_still_flushes(self):
+        bank, stats, delivered = make_bank(threshold=1000)
+        bank.send_virtual(1, 10)
+        assert bank.has_pending()
+        assert bank.pending_bytes() == 10
+        bank.flush_all()
+        assert not bank.has_pending()
+        assert stats.current.wire_messages == 1
+        assert stats.current.wire_bytes == 10 + WIRE_ENVELOPE_BYTES
+        assert delivered == []  # nothing deliverable rode the virtual bytes
+
+    def test_out_of_range_destination_rejected(self):
+        bank, _, _ = make_bank()
+        with pytest.raises(ValueError):
+            bank.send_virtual(99, 10)
+
+    def test_negative_virtual_size_rejected(self):
+        buf = MessageBuffer(0, 1, 64)
+        with pytest.raises(ValueError):
+            buf.append_virtual(-1)
+
+
+class TestWorldBatchedDelivery:
+    def test_batched_call_runs_once_with_virtual_accounting(self):
+        world = World(3)
+        seen = []
+
+        def handler(ctx, payload):
+            seen.append((ctx.rank, payload))
+
+        handle = world.register_handler(handler)
+        src = world.rank(0)
+        src.account_rpc(2, 40)
+        src.account_rpc(2, 60)
+        src.async_call_batched(2, handle, "batch", virtual_rpcs=2, virtual_bytes=100)
+        world.barrier()
+
+        assert seen == [(2, "batch")]
+        sender = world.stats.ranks[0].current
+        receiver = world.stats.ranks[2].current
+        assert sender.rpcs_sent == 2
+        assert sender.bytes_sent_remote == 100
+        assert sender.wire_messages == 1
+        assert sender.wire_bytes == 100 + WIRE_ENVELOPE_BYTES
+        assert receiver.rpcs_executed == 2
+        assert receiver.bytes_received == 100
+
+    def test_local_batched_call_counts_no_received_bytes(self):
+        world = World(2)
+        seen = []
+        handle = world.register_handler(lambda ctx, x: seen.append(x))
+        src = world.rank(1)
+        src.account_rpc(1, 25)
+        src.async_call_batched(1, handle, 7, virtual_rpcs=1, virtual_bytes=25)
+        world.barrier()
+        assert seen == [7]
+        stats = world.stats.ranks[1].current
+        assert stats.bytes_sent_local == 25
+        assert stats.bytes_received == 0
+        assert stats.rpcs_executed == 1
+        assert stats.wire_messages == 0
+
+    def test_batched_args_pass_by_reference(self):
+        world = World(2)
+        received = []
+        handle = world.register_handler(lambda ctx, obj: received.append(obj))
+        marker = object()  # not serializable: proves the codec is bypassed
+        world.rank(0).async_call_batched(
+            1, handle, marker, virtual_rpcs=1, virtual_bytes=0
+        )
+        world.barrier()
+        assert received[0] is marker
+
+    def test_batched_call_rejects_bad_rank(self):
+        from repro.runtime.world import WorldError
+
+        world = World(2)
+        handle = world.register_handler(lambda ctx: None)
+        with pytest.raises(WorldError):
+            world.rank(0).async_call_batched(5, handle, virtual_rpcs=1, virtual_bytes=0)
+
+    def test_barrier_flushes_virtual_only_pending(self):
+        world = World(2)
+        world.rank(0).account_rpc(1, 12)
+        world.barrier()
+        stats = world.stats.ranks[0].current
+        assert stats.wire_messages == 1
+        assert stats.wire_bytes == 12 + WIRE_ENVELOPE_BYTES
