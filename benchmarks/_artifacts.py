@@ -9,10 +9,12 @@ benchmark run and is what EXPERIMENTS.md refers to.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
+from typing import Any, Dict
 
-__all__ = ["emit", "artifact_path", "reset_artifacts"]
+__all__ = ["emit", "emit_json", "artifact_path", "json_artifact_path", "reset_artifacts"]
 
 
 def artifact_path() -> Path:
@@ -23,11 +25,26 @@ def artifact_path() -> Path:
     return Path(__file__).resolve().parent.parent / "bench_artifacts.txt"
 
 
+def json_artifact_path() -> Path:
+    """Location of the machine-readable artifact file (``.json`` sibling).
+
+    One JSON object per benchmark session, keyed by benchmark name — the
+    file CI uploads so regressions can be diffed without parsing tables.
+    """
+    root = os.environ.get("REPRO_BENCH_ARTIFACTS_JSON")
+    if root:
+        return Path(root)
+    return artifact_path().with_suffix(".json")
+
+
 def reset_artifacts() -> None:
-    """Truncate the artifact file at the start of a benchmark session."""
+    """Truncate the artifact files at the start of a benchmark session."""
     path = artifact_path()
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text("")
+    json_path = json_artifact_path()
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text("{}\n")
 
 
 def emit(text: str) -> None:
@@ -37,3 +54,17 @@ def emit(text: str) -> None:
     with open(artifact_path(), "a", encoding="utf-8") as handle:
         handle.write(text)
         handle.write("\n\n")
+
+
+def emit_json(name: str, payload: Dict[str, Any]) -> None:
+    """Record ``payload`` under ``name`` in the JSON artifact file."""
+    path = json_artifact_path()
+    try:
+        existing = json.loads(path.read_text() or "{}")
+        if not isinstance(existing, dict):
+            existing = {}
+    except (FileNotFoundError, json.JSONDecodeError):
+        existing = {}
+    existing[name] = payload
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")

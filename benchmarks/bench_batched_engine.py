@@ -14,9 +14,11 @@ Expected shape:
 * every parity column (triangles, callbacks, comm bytes, wire messages,
   simulated seconds) identical between the two engines on every dataset;
 * host seconds drop by >= 2x on the R-MAT weak-scaling input (typically
-  3-4x with NumPy; the win grows with wedge count because the legacy path
-  serializes every candidate suffix per wedge while the batched path
-  serializes nothing in the hot loop).
+  ~3x with NumPy; the win grows with wedge count because the legacy path
+  sizes and buffers every candidate suffix per wedge while the batched path
+  does constant per-wedge work.  The margin narrowed in ISSUE 2 when the
+  legacy path stopped paying the codec — the gate was re-measured against
+  the faster baseline).
 """
 
 from __future__ import annotations

@@ -1,0 +1,213 @@
+"""Construction pipeline — legacy per-edge ingest/build vs vectorized path.
+
+Not a figure from the paper: this benchmark gates the vectorized ingest→CSR
+construction pipeline (ISSUE 2).  PR 1 made the survey hot loop fast, which
+left ``DODGraph.build`` (and the `DistributedGraph` ingest feeding it) as the
+dominant host-time cost of every figure benchmark.  The vectorized pipeline
+keeps the paper's bulk, communication-light preprocessing semantics but runs
+it array-native: columnar generator output feeds
+``DistributedGraph.from_columns`` (one vectorized partition-map evaluation
+instead of two owner hashes per edge), and ``DODGraph.build(mode="bulk")``
+derives the ``<+`` orientation from one ``order_positions`` argsort plus a
+single lexsort-assembled adjacency, instead of per-half-edge ``order_key``
+tuples.
+
+Contract: the vectorized builder is **bit-identical** to the legacy builder
+(``mode="bulk-legacy"`` + ``from_edges``) — same store insertion order, same
+adjacency tuples in the same order, same dense order ids, same CSR arrays,
+and therefore byte-identical survey communication accounting.
+
+Expected shape:
+
+* every parity column (order ids, CSR indptr/ids/owners/size prefix sums,
+  survey comm bytes / wire messages / triangles) exactly equal;
+* host seconds of ``DODGraph.build`` drop by >= 3x on the R-MAT
+  weak-scaling input (typically 5-10x with NumPy), with the ingest stage
+  reported alongside.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _artifacts import emit, emit_json
+from repro.bench import format_table
+from repro.core.survey import triangle_survey_push
+from repro.graph.distributed_graph import DistributedGraph
+from repro.graph.dodgr import DODGraph
+from repro.graph.generators import rmat
+from repro.runtime.world import World
+
+#: Weak-scaling construction points: (R-MAT scale, simulated node count).
+WEAK_SCALING_POINTS = [(11, 8), (12, 16)]
+EDGE_FACTOR = 8
+SEED = 19
+
+
+def _build_once(dataset, nranks, vectorized, repeats=1):
+    """One full construction pipeline on a fresh world; returns timings.
+
+    Each stage is repeated ``repeats`` times (ingest on a fresh world per
+    repeat, build as a fresh DODGr over the final graph) and the minimum is
+    reported, keeping the speedup gate out of reach of GC pauses; both
+    engines run the same repeat count so their worlds stay structurally
+    identical for the parity survey.
+    """
+    ingest_seconds = None
+    for _ in range(repeats):
+        world = World(nranks)
+        start = time.perf_counter()
+        if vectorized:
+            us, vs = dataset.edge_columns()
+            graph = DistributedGraph.from_columns(
+                world, us, vs, edge_meta=True, name=dataset.name
+            )
+        else:
+            graph = DistributedGraph.from_edges(world, dataset.edges, name=dataset.name)
+        elapsed = time.perf_counter() - start
+        if ingest_seconds is None or elapsed < ingest_seconds:
+            ingest_seconds = elapsed
+    mode = "bulk" if vectorized else "bulk-legacy"
+    build_seconds = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        dodgr = DODGraph.build(graph, mode=mode)
+        elapsed = time.perf_counter() - start
+        if build_seconds is None or elapsed < build_seconds:
+            build_seconds = elapsed
+    return world, graph, dodgr, ingest_seconds, build_seconds
+
+
+def _assert_bit_identical(legacy, vectorized, nranks):
+    """Exact-equality parity: stores, order ids, CSR arrays."""
+    assert legacy.order_ids() == vectorized.order_ids()
+    for rank in range(nranks):
+        store_a = legacy.local_store(rank)
+        store_b = vectorized.local_store(rank)
+        assert list(store_a.keys()) == list(store_b.keys())
+        for vertex in store_a:
+            assert store_a[vertex]["meta"] == store_b[vertex]["meta"]
+            assert store_a[vertex]["degree"] == store_b[vertex]["degree"]
+            assert store_a[vertex]["adj"] == store_b[vertex]["adj"]
+        csr_a, csr_b = legacy.csr(rank), vectorized.csr(rank)
+        assert csr_a.indptr == csr_b.indptr
+        assert list(csr_a.tgt_ids) == list(csr_b.tgt_ids)
+        assert csr_a.tgt_owner == csr_b.tgt_owner
+        assert csr_a.tgt_wire_sizes == csr_b.tgt_wire_sizes
+        assert csr_a.cand_size_cumsum == csr_b.cand_size_cumsum
+        assert csr_a.row_wire_sizes == csr_b.row_wire_sizes
+
+
+def _survey_parity(legacy, vectorized):
+    """Byte-identical communication when the same survey runs on each graph."""
+    report_a = triangle_survey_push(legacy, batched=True)
+    report_b = triangle_survey_push(vectorized, batched=True)
+    assert report_a.triangles == report_b.triangles
+    assert report_a.communication_bytes == report_b.communication_bytes
+    assert report_a.wire_messages == report_b.wire_messages
+    return report_a
+
+
+def test_build_pipeline_weak_scaling(benchmark):
+    """R-MAT weak scaling: exact parity plus the >= 3x build-speedup gate."""
+
+    def run_all():
+        # Warm both code paths (NumPy kernel dispatch, import-time caches)
+        # so the timed points measure steady-state construction.
+        warmup = rmat(8, edge_factor=4, seed=SEED)
+        _build_once(warmup, 4, vectorized=False)
+        _build_once(warmup, 4, vectorized=True)
+        points = []
+        for scale, nranks in WEAK_SCALING_POINTS:
+            dataset = rmat(scale, edge_factor=EDGE_FACTOR, seed=SEED)
+            _, _, legacy_dodgr, legacy_ingest, legacy_build = _build_once(
+                dataset, nranks, vectorized=False, repeats=3
+            )
+            _, _, vec_dodgr, vec_ingest, vec_build = _build_once(
+                dataset, nranks, vectorized=True, repeats=3
+            )
+            _assert_bit_identical(legacy_dodgr, vec_dodgr, nranks)
+            report = _survey_parity(legacy_dodgr, vec_dodgr)
+            points.append(
+                {
+                    "scale": scale,
+                    "nodes": nranks,
+                    "edges": dataset.num_edges(),
+                    "triangles": report.triangles,
+                    "comm_bytes": report.communication_bytes,
+                    "legacy_ingest_s": legacy_ingest,
+                    "vectorized_ingest_s": vec_ingest,
+                    "legacy_build_s": legacy_build,
+                    "vectorized_build_s": vec_build,
+                    "build_speedup": legacy_build / vec_build,
+                    "ingest_speedup": legacy_ingest / vec_ingest,
+                }
+            )
+        return points
+
+    points = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for point in points:
+        rows.append(
+            {
+                "input": f"rmat s{point['scale']} x{point['nodes']} nodes",
+                "edges": point["edges"],
+                "triangles": point["triangles"],
+                "comm bytes": point["comm_bytes"],
+                "legacy build": f"{point['legacy_build_s']:.3f}s",
+                "vector build": f"{point['vectorized_build_s']:.3f}s",
+                "build speedup": f"{point['build_speedup']:.2f}x",
+                "ingest speedup": f"{point['ingest_speedup']:.2f}x",
+                "parity": "bit-identical",
+            }
+        )
+    emit(
+        format_table(
+            rows, title="Construction pipeline — legacy vs vectorized builder"
+        )
+    )
+    emit_json("build_pipeline", {"points": points})
+
+    gate_point = points[-1]
+    benchmark.extra_info.update(
+        {
+            "points": [(p["scale"], p["nodes"]) for p in points],
+            "build_speedups": [p["build_speedup"] for p in points],
+            "ingest_speedups": [p["ingest_speedup"] for p in points],
+        }
+    )
+
+    # Acceptance gate (ISSUE 2): >= 3x host speedup for the vectorized
+    # DODGraph.build on the largest weak-scaling point.
+    assert gate_point["build_speedup"] >= 3.0, (
+        f"vectorized build speedup {gate_point['build_speedup']:.2f}x below 3x gate"
+    )
+
+
+def test_build_pipeline_adversarial_inputs(benchmark):
+    """Self-loops, duplicates and both orientations: still bit-identical."""
+    edges = []
+    for i in range(400):
+        edges.append((i % 40, (i * 7 + 3) % 40, f"m{i}"))
+    edges += [(5, 5, "loop"), (7, 7, None)]
+    edges += [(1, 2, "dup-a"), (2, 1, "dup-b"), (1, 2, "dup-c")]
+
+    def run_once():
+        nranks = 8
+        world_a, world_b = World(nranks), World(nranks)
+        graph_a = DistributedGraph.from_edges(world_a, edges, name="adv")
+        us = [e[0] for e in edges]
+        vs = [e[1] for e in edges]
+        metas = [e[2] for e in edges]
+        graph_b = DistributedGraph.from_columns(
+            world_b, us, vs, edge_metas=metas, name="adv"
+        )
+        legacy = DODGraph.build(graph_a, mode="bulk-legacy")
+        vectorized = DODGraph.build(graph_b, mode="bulk")
+        _assert_bit_identical(legacy, vectorized, nranks)
+        return legacy.num_directed_edges()
+
+    directed_edges = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    emit_json("build_pipeline_adversarial", {"directed_edges": directed_edges})
+    assert directed_edges > 0

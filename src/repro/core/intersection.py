@@ -216,23 +216,41 @@ def _batch_via_scalar(
     offsets: Sequence[int],
     adjacency_keys: Sequence[int],
 ) -> BatchIntersectionResult:
-    """Reference batch implementation: one scalar kernel call per segment."""
+    """Reference batch implementation: one scalar kernel call per segment.
+
+    Doubles as the small-input fast path of the vectorized kernels: for tiny
+    batches a plain Python merge beats the fixed per-call cost of the NumPy
+    pipeline, and being the scalar reference it is contract-exact (identical
+    matches and comparison counts) by construction.
+    """
     _check_offsets(candidate_keys, offsets)
     matches: List[BatchMatch] = []
     comparisons = 0
-    adjacency = list(adjacency_keys)
+    cand_list = (
+        candidate_keys.tolist()
+        if hasattr(candidate_keys, "tolist")
+        else list(candidate_keys)
+    )
+    adjacency = (
+        adjacency_keys.tolist()
+        if hasattr(adjacency_keys, "tolist")
+        else list(adjacency_keys)
+    )
     for seg in range(len(offsets) - 1):
-        lo, hi = offsets[seg], offsets[seg + 1]
-        result = kernel(
-            [candidate_keys[k] for k in range(lo, hi)],
-            adjacency,
-            _identity,
-            _identity,
-        )
+        lo, hi = int(offsets[seg]), int(offsets[seg + 1])
+        result = kernel(cand_list[lo:hi], adjacency, _identity, _identity)
         comparisons += result.comparisons
         for cand_idx, adj_idx in result.matches:
             matches.append((seg, cand_idx, adj_idx))
     return BatchIntersectionResult(matches, comparisons)
+
+
+#: Below this many total keys (candidates + adjacency) the vectorized batch
+#: kernels route through :func:`_batch_via_scalar` — the fixed overhead of a
+#: dozen NumPy calls exceeds a short Python merge, and small groups dominate
+#: exactly the workloads (many distinct low-degree targets) where batching
+#: wins the least.
+_SCALAR_BATCH_CUTOFF = 96
 
 
 def _identity(value: Any) -> Any:
@@ -289,7 +307,7 @@ def merge_path_batch(
     elements taken from either list before one side is exhausted — a
     closed form over searchsorted ranks.
     """
-    if _np is None:
+    if _np is None or len(candidate_keys) + len(adjacency_keys) <= _SCALAR_BATCH_CUTOFF:
         return _batch_via_scalar(
             merge_path_intersection, candidate_keys, offsets, adjacency_keys
         )
@@ -320,10 +338,9 @@ def merge_path_batch(
     consumed_cand_side = lengths + rank_of_last + last_in_adj
 
     # Adjacency exhausts first (last_key > adj_last): the whole adjacency is
-    # consumed, plus each segment's prefix up to the last adjacency key.
-    below = _segment_sums(cand < adj_last, offs)
-    at = _segment_sums(cand == adj_last, offs)
-    consumed_adj_side = n_adj + below + at
+    # consumed, plus each segment's prefix up to the last adjacency key
+    # (candidates <= adj_last, counted with one fused segment sum).
+    consumed_adj_side = n_adj + _segment_sums(cand <= adj_last, offs)
 
     consumed = _np.where(
         last_key < adj_last,
@@ -345,7 +362,7 @@ def hash_batch(
     models the scalar kernel rebuilding its hash table once per segment:
     ``segments * len(adjacency) + len(candidate_keys)``.
     """
-    if _np is None:
+    if _np is None or len(candidate_keys) + len(adjacency_keys) <= _SCALAR_BATCH_CUTOFF:
         return _batch_via_scalar(
             hash_intersection, candidate_keys, offsets, adjacency_keys
         )

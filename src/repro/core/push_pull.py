@@ -86,12 +86,19 @@ def triangle_survey_push_pull(
         callback is supplied (see
         :data:`~repro.core.survey.DEFAULT_CALLBACK_COMPUTE_UNITS`).
     batched:
-        Run the batched engine: the push phase coalesces candidate pushes
-        per ``(destination rank, q)`` exactly like
-        :func:`~repro.core.survey.triangle_survey_push`, and each pull-phase
-        delivery intersects all of its waiting pivots in one vectorized
-        batch-kernel call.  The dry run and the pulled-payload messages are
-        unchanged, so communication accounting stays byte-identical.
+        Run the batched engine: the dry run coalesces its proposals into one
+        RPC per (source rank, dest rank) carrying every ``(q, count)`` pair,
+        the push phase coalesces candidate pushes per ``(destination rank,
+        q)`` exactly like :func:`~repro.core.survey.triangle_survey_push`,
+        and each pull-phase delivery intersects all of its waiting pivots in
+        one vectorized batch-kernel call.  Every replaced message is
+        accounted at its exact legacy size through the real buffer bank (the
+        ``BatchedCall`` contract), so all communication totals stay
+        byte-identical; because dry-run handlers reply with advise RPCs, the
+        flush-window *split* of those follow-on messages carries the same
+        bound as RPC-sending callbacks (see
+        :class:`~repro.runtime.world.BatchedCall`) — identical in practice
+        unless a rank's proposal stream overflows a buffer mid-drive.
 
     The returned report carries the three-phase breakdown (dry run / push /
     pull) and the number of pulled adjacency lists used for Table 3.
@@ -121,10 +128,22 @@ def triangle_survey_push_pull(
         if record is not None and out_degree < candidate_count:
             pull_lists[ctx.rank].setdefault(q, []).append(source_rank)
         else:
-            ctx.async_call(source_rank, _advise_push_handler, q)
+            ctx.async_call_sized(source_rank, _advise_push_handler, q)
 
     def _advise_push_handler(ctx, q: Any) -> None:
         push_targets[ctx.rank].add(q)
+
+    def _propose_batch_handler(ctx, source_rank: int, pairs: List[Tuple[Any, int]]) -> None:
+        """One coalesced dry-run proposal per (source rank, dest rank).
+
+        Carries every ``(q, count)`` pair the source generated for this
+        rank's targets, in the source's legacy iteration order, and runs the
+        per-pair decision logic unchanged — so pull-list append order and
+        advise-reply order match the per-``(rank, q)`` message stream it
+        replaces.
+        """
+        for q, candidate_count in pairs:
+            _propose_handler(ctx, q, source_rank, candidate_count)
 
     def _intersect_handler(
         ctx, q: Any, p: Any, meta_p: Any, meta_pq: Any, candidates: List[tuple]
@@ -218,22 +237,25 @@ def triangle_survey_push_pull(
         candidate_ids, offsets = _concat_segments(csr.tgt_ids, starts, ends)
         result = batch_kernel(candidate_ids, offsets, pulled_ids)
         ctx.add_compute(result.comparisons)
+        if not result.matches:
+            return
+        ctx.add_counter("triangles_found", len(result.matches))
+        if callback is None:
+            return
+        ctx.add_compute(per_triangle_compute * len(result.matches))
         for wedge, cand_idx, adj_idx in result.matches:
             r, _d_r, meta_pr, meta_r = csr.entries[starts[wedge] + cand_idx]
             meta_qr = adjacency_q[adj_idx][2]
             row = rows[wedge]
-            ctx.add_counter("triangles_found", 1)
-            if callback is not None:
-                ctx.add_compute(per_triangle_compute)
-                callback(
-                    ctx,
-                    TriangleMetadata(
-                        p=csr.row_vertices[row], q=q, r=r,
-                        meta_p=csr.row_meta[row], meta_q=meta_q, meta_r=meta_r,
-                        meta_pq=csr.entries[starts[wedge] - 1][2],
-                        meta_pr=meta_pr, meta_qr=meta_qr,
-                    ),
-                )
+            callback(
+                ctx,
+                TriangleMetadata(
+                    p=csr.row_vertices[row], q=q, r=r,
+                    meta_p=csr.row_meta[row], meta_q=meta_q, meta_r=meta_r,
+                    meta_pq=csr.entries[starts[wedge] - 1][2],
+                    meta_pr=meta_pr, meta_qr=meta_qr,
+                ),
+            )
 
     # Handler registration order is identical in both modes so that handler
     # ids — and therefore the serialized size of every dry-run message and
@@ -248,6 +270,10 @@ def triangle_survey_push_pull(
             )
         )
         h_pull_deliver = world.register_handler(_pull_deliver_batched_handler)
+        # Registered last: its id never crosses the accounted wire, so the
+        # earlier ids (and every accounted legacy message size) still match
+        # the legacy run exactly.
+        h_propose_batch = world.register_handler(_propose_batch_handler)
     else:
         h_intersect = world.register_handler(_intersect_handler)
         h_pull_deliver = world.register_handler(_pull_deliver_handler)
@@ -276,8 +302,39 @@ def triangle_survey_push_pull(
                     push_targets[rank].add(q)
                 else:
                     candidate_totals[q] = candidate_totals.get(q, 0) + suffix_len
-        for q, total in candidate_totals.items():
-            ctx.async_call(dodgr.owner(q), h_propose, q, rank, total)
+        if batched:
+            # Coalesce proposals: one batched RPC per (source rank, dest
+            # rank) carrying every (q, count) pair, accounted — in legacy
+            # iteration order, against the real buffer bank — as the exact
+            # per-(rank, q) messages it replaces (the BatchedCall contract).
+            per_dest: Dict[int, Tuple[List[Tuple[Any, int]], List[int]]] = {}
+            for q, total in candidate_totals.items():
+                dest = dodgr.owner(q)
+                nbytes = world.registry.call_size(h_propose, (q, rank, total))
+                ctx.account_rpc(dest, nbytes)
+                bucket = per_dest.get(dest)
+                if bucket is None:
+                    per_dest[dest] = bucket = ([], [0])
+                bucket[0].append((q, total))
+                bucket[1][0] += nbytes
+            for dest, (pairs, (dest_bytes,)) in per_dest.items():
+                ctx.async_call_batched(
+                    dest,
+                    h_propose_batch,
+                    rank,
+                    pairs,
+                    virtual_rpcs=len(pairs),
+                    virtual_bytes=dest_bytes,
+                )
+            # Batched proposals execute in the barrier's first delivery
+            # sweep — before its flush pass.  Flush now, exactly where the
+            # legacy run's barrier flushes the proposal buffers, so the
+            # advise replies meet empty buffers in both paths and the
+            # flush-window split (wire_messages, envelope bytes) matches.
+            ctx.buffers.flush_all()
+        else:
+            for q, total in candidate_totals.items():
+                ctx.async_call_sized(dodgr.owner(q), h_propose, q, rank, total)
     world.barrier()
 
     # ------------------------------------------------------------------
@@ -311,7 +368,9 @@ def triangle_survey_push_pull(
                     candidates = [
                         (entry[0], entry[1], entry[2]) for entry in adjacency[i + 1 :]
                     ]
-                    ctx.async_call(dodgr.owner(q), h_intersect, q, p, meta_p, meta_pq, candidates)
+                    ctx.async_call_sized(
+                        dodgr.owner(q), h_intersect, q, p, meta_p, meta_pq, candidates
+                    )
     world.barrier()
 
     # ------------------------------------------------------------------
@@ -330,7 +389,7 @@ def triangle_survey_push_pull(
             # meta(r) locally for every r in its pivots' adjacency lists.
             payload = [(entry[0], entry[1], entry[2]) for entry in record["adj"]]
             for source_rank in requesters:
-                ctx.async_call(source_rank, h_pull_deliver, q, meta_q, payload)
+                ctx.async_call_sized(source_rank, h_pull_deliver, q, meta_q, payload)
     world.barrier()
 
     host_seconds = time.perf_counter() - host_start

@@ -18,8 +18,9 @@ files); the survey itself returns only telemetry (a
 Batched engine (``batched=True``)
 ---------------------------------
 
-The legacy driver serializes, buffers, delivers and intersects one wedge
-check at a time.  The batched engine extends the conveyor/YGM aggregation
+The legacy driver sizes (``async_call_sized`` — exact wire accounting, no
+codec run), buffers, delivers and intersects one wedge check at a time.  The
+batched engine extends the conveyor/YGM aggregation
 idea one layer up, from the wire into the compute: every candidate suffix a
 rank wants to push to the same ``(destination rank, q)`` pair is coalesced
 into a *single* batched RPC, and the owner of ``q`` intersects all of those
@@ -48,7 +49,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..graph.degree import order_key
 from ..graph.dodgr import CSRAdjacency, DODGraph, entry_key
 from ..graph.metadata import TriangleMetadata
-from ..runtime.serialization import dumps, uvarint_size
+from ..runtime.serialization import serialized_size, uvarint_size
 from .intersection import BATCH_KERNELS, INTERSECTION_KERNELS
 from .results import SurveyReport
 
@@ -122,7 +123,7 @@ def _legacy_push_payload_overhead(handler_id: int) -> int:
     framing bytes for the argument list, and 1 tag byte for the candidate
     list (whose length prefix and entries are accounted per wedge).
     """
-    return 5 + len(dumps(handler_id))
+    return 5 + serialized_size(handler_id)
 
 
 def _make_batched_intersect_handler(
@@ -163,28 +164,31 @@ def _make_batched_intersect_handler(
         ctx.add_compute(result.comparisons)
         if not result.matches:
             return
+        # Counter totals are phase-aggregate, so one bulk update per batch
+        # replaces two Python calls per triangle.
+        ctx.add_counter("triangles_found", len(result.matches))
+        if callback is None:
+            return
+        ctx.add_compute(per_triangle_compute * len(result.matches))
         meta_q = dest_csr.row_meta[q_row]
         for wedge, cand_idx, adj_idx in result.matches:
             r, _d_r, meta_pr, _ = src_csr.entries[starts[wedge] + cand_idx]
             _, _, meta_qr, meta_r = dest_csr.entries[adj_lo + adj_idx]
-            ctx.add_counter("triangles_found", 1)
-            if callback is not None:
-                ctx.add_compute(per_triangle_compute)
-                row = rows[wedge]
-                callback(
-                    ctx,
-                    TriangleMetadata(
-                        p=src_csr.row_vertices[row],
-                        q=q,
-                        r=r,
-                        meta_p=src_csr.row_meta[row],
-                        meta_q=meta_q,
-                        meta_r=meta_r,
-                        meta_pq=src_csr.entries[qpositions[wedge]][2],
-                        meta_pr=meta_pr,
-                        meta_qr=meta_qr,
-                    ),
-                )
+            row = rows[wedge]
+            callback(
+                ctx,
+                TriangleMetadata(
+                    p=src_csr.row_vertices[row],
+                    q=q,
+                    r=r,
+                    meta_p=src_csr.row_meta[row],
+                    meta_q=meta_q,
+                    meta_r=meta_r,
+                    meta_pq=src_csr.entries[qpositions[wedge]][2],
+                    meta_pr=meta_pr,
+                    meta_qr=meta_qr,
+                ),
+            )
 
     return _batched_intersect_handler
 
@@ -371,7 +375,9 @@ def triangle_survey_push(
                 candidates = [
                     (entry[0], entry[1], entry[2]) for entry in adjacency[i + 1 :]
                 ]
-                ctx.async_call(dodgr.owner(q), handler, q, p, meta_p, meta_pq, candidates)
+                # Sized delivery: exact legacy wire accounting, no codec run
+                # for what is (in-process) an accounting-only payload.
+                ctx.async_call_sized(dodgr.owner(q), handler, q, p, meta_p, meta_pq, candidates)
     world.barrier()
     host_seconds = time.perf_counter() - host_start
 

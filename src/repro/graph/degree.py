@@ -14,11 +14,16 @@ explicit).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, Mapping, Tuple
+from typing import Any, Dict, Hashable, Iterable, Mapping, Sequence, Tuple
 
-from ..runtime.world import stable_hash
+from ..runtime.world import stable_hash, stable_hash_int_array
 
-__all__ = ["order_key", "precedes", "DegreeOrder"]
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the scalar fallback
+    _np = None
+
+__all__ = ["order_key", "precedes", "DegreeOrder", "order_positions"]
 
 
 def order_key(vertex: Hashable, degree: int) -> Tuple[int, int, str]:
@@ -29,6 +34,74 @@ def order_key(vertex: Hashable, degree: int) -> Tuple[int, int, str]:
 def precedes(u: Hashable, du: int, v: Hashable, dv: int) -> bool:
     """True when ``u <+ v`` under the degree ordering."""
     return order_key(u, du) < order_key(v, dv)
+
+
+def order_positions(
+    vertices: Sequence[Hashable], degrees: Sequence[int]
+) -> Tuple[Any, Any]:
+    """Dense ranks of ``vertices`` under ``<+``, computed with array argsort.
+
+    Returns ``(pos, order)`` where ``pos[i]`` is the rank of ``vertices[i]``
+    in the global degree order and ``order`` is the inverse permutation
+    (``vertices[order[k]]`` is the ``k``-th vertex in ``<+`` order) — exactly
+    the ordering ``sorted(..., key=order_key)`` produces, but via one
+    ``np.lexsort`` over (hash, degree) columns instead of per-vertex key
+    tuples.  Integer vertex ids hash through the vectorized mix; other id
+    types fall back to a scalar hashing pass but still sort columnar.  The
+    ``repr`` tie-break of :func:`order_key` only matters on exact 64-bit
+    hash collisions between equal-degree vertices; those (vanishingly rare)
+    runs are re-sorted scalar-side so the result matches the legacy key on
+    adversarial inputs too.
+
+    Without NumPy the fallback is the legacy sort itself, so callers get
+    identical results either way.
+    """
+    n = len(vertices)
+    if _np is None:
+        order_list = sorted(range(n), key=lambda i: order_key(vertices[i], degrees[i]))
+        pos_list = [0] * n
+        for rank, i in enumerate(order_list):
+            pos_list[i] = rank
+        return pos_list, order_list
+    deg = _np.asarray(degrees, dtype=_np.int64)
+    hashes = None
+    if n and all(type(v) is int for v in vertices):
+        try:
+            ids = _np.fromiter(vertices, dtype=_np.int64, count=n)
+        except OverflowError:  # ids beyond int64: scalar hashing below
+            ids = None
+        if ids is not None:
+            hashes = stable_hash_int_array(ids)
+    if hashes is None:
+        # Scalar hashing pass (non-int or huge ids); results are < 2**63 so
+        # the columnar sort below still applies.
+        hashes = _np.fromiter(
+            (stable_hash(v) for v in vertices), dtype=_np.int64, count=n
+        )
+    order = _np.lexsort((hashes, deg))
+    if n > 1:
+        deg_sorted = deg[order]
+        hash_sorted = hashes[order]
+        ties = (deg_sorted[1:] == deg_sorted[:-1]) & (hash_sorted[1:] == hash_sorted[:-1])
+        if ties.any():
+            order_list = order.tolist()
+            tie_flags = ties.tolist()
+            start = 0
+            while start < n - 1:
+                if not tie_flags[start]:
+                    start += 1
+                    continue
+                end = start + 1
+                while end < n - 1 and tie_flags[end]:
+                    end += 1
+                run = order_list[start : end + 1]
+                run.sort(key=lambda i: repr(vertices[i]))
+                order_list[start : end + 1] = run
+                start = end + 1
+            order = _np.asarray(order_list, dtype=_np.int64)
+    pos = _np.empty(n, dtype=_np.int64)
+    pos[order] = _np.arange(n, dtype=_np.int64)
+    return pos, order
 
 
 class DegreeOrder:

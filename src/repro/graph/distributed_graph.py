@@ -20,9 +20,17 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
+from itertools import repeat
+
 from ..runtime.world import RankContext, World
+from .columnar import group_slices
 from .edge_list import DistributedEdgeList, canonical_pair
 from .partition import HashPartitioner, Partitioner
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the scalar fallback
+    _np = None
 
 __all__ = ["DistributedGraph"]
 
@@ -149,6 +157,105 @@ class DistributedGraph:
         return graph
 
     @classmethod
+    def from_columns(
+        cls,
+        world: World,
+        us: Any,
+        vs: Any,
+        edge_meta: Any = None,
+        edge_metas: Optional[List[Any]] = None,
+        vertex_meta: Optional[Dict[Hashable, Any]] = None,
+        partitioner: Optional[Partitioner] = None,
+        default_vertex_meta: Any = None,
+        name: Optional[str] = None,
+    ) -> "DistributedGraph":
+        """Bulk-construct from parallel integer endpoint columns.
+
+        Bit-identical to ``from_edges(zip(us, vs, ...))`` — same per-rank
+        store insertion order, same adjacency-dict key order, same
+        duplicate-edge overwrite semantics, same self-loop drops — but the
+        per-edge owner lookups collapse into one vectorized partition-map
+        evaluation and the per-vertex records are assembled group-at-a-time
+        from one stable sort of the half-edge stream.  ``edge_meta`` is a
+        value shared by every edge (the generator default); ``edge_metas``
+        supplies one value per input edge.
+        """
+        if len(us) != len(vs):
+            raise ValueError("endpoint columns must have equal length")
+        if edge_metas is not None and len(edge_metas) != len(us):
+            raise ValueError("metadata column must match endpoint columns")
+        graph = cls(
+            world,
+            partitioner=partitioner,
+            name=name,
+            default_vertex_meta=default_vertex_meta,
+        )
+        us_arr = None
+        vs_arr = None
+        if _np is not None:
+            try:
+                us_arr = _np.asarray(us, dtype=_np.int64)
+                vs_arr = _np.asarray(vs, dtype=_np.int64)
+            except OverflowError:  # ids beyond int64: per-edge fallback
+                us_arr = None
+        if us_arr is None:
+            metas = edge_metas if edge_metas is not None else repeat(edge_meta)
+            for u, v, meta in zip(us, vs, metas):
+                graph.add_edge(int(u), int(v), meta)
+        else:
+            keep = us_arr != vs_arr
+            us_arr, vs_arr = us_arr[keep], vs_arr[keep]
+            edge_index = _np.flatnonzero(keep)
+            num_edges = len(us_arr)
+            if num_edges:
+                # The half-edge stream of from_edges: edge i contributes
+                # (u_i -> v_i) at position 2i and (v_i -> u_i) at 2i + 1.
+                ends = _np.empty(2 * num_edges, dtype=_np.int64)
+                partners = _np.empty(2 * num_edges, dtype=_np.int64)
+                ends[0::2], ends[1::2] = us_arr, vs_arr
+                partners[0::2], partners[1::2] = vs_arr, us_arr
+                owners = graph.partitioner.owners_array(ends)
+                order = _np.lexsort((ends, owners))
+                own_sorted_arr = owners[order]
+                vtx_sorted_arr = ends[order]
+                own_sorted = own_sorted_arr.tolist()
+                vtx_sorted = vtx_sorted_arr.tolist()
+                part_sorted = partners[order].tolist()
+                stream_sorted = order.tolist()
+                # One group per (owner, vertex); lexsort stability keeps each
+                # group's half edges in stream order, so the group's head is
+                # the vertex's first appearance.
+                groups = [
+                    (own_sorted[start], stream_sorted[start], start, end)
+                    for start, end in group_slices(own_sorted_arr, vtx_sorted_arr)
+                ]
+                # Store records in first-appearance order per rank — the
+                # dict insertion order the per-edge loop produces.
+                groups.sort()
+                meta_by_edge = None
+                if edge_metas is not None:
+                    meta_by_edge = [edge_metas[k] for k in edge_index.tolist()]
+                for owner_rank, _first, i, j in groups:
+                    store = graph.local_store(owner_rank)
+                    if meta_by_edge is None:
+                        adj = dict(zip(part_sorted[i:j], repeat(edge_meta)))
+                    else:
+                        adj = dict(
+                            zip(
+                                part_sorted[i:j],
+                                (meta_by_edge[s >> 1] for s in stream_sorted[i:j]),
+                            )
+                        )
+                    store[vtx_sorted[i]] = {
+                        "meta": graph.default_vertex_meta,
+                        "adj": adj,
+                    }
+        if vertex_meta:
+            for vertex, meta in vertex_meta.items():
+                graph.set_vertex_meta(vertex, meta)
+        return graph
+
+    @classmethod
     def from_edge_list(
         cls,
         edge_list: DistributedEdgeList,
@@ -188,8 +295,8 @@ class DistributedGraph:
             for u, v, meta in records:
                 if u == v:
                     continue
-                ctx.async_call(self.owner(u), self._h_add_half_edge, u, v, meta)
-                ctx.async_call(self.owner(v), self._h_add_half_edge, v, u, meta)
+                ctx.async_call_sized(self.owner(u), self._h_add_half_edge, u, v, meta)
+                ctx.async_call_sized(self.owner(v), self._h_add_half_edge, v, u, meta)
         if vertex_meta_per_rank is not None:
             if len(vertex_meta_per_rank) != self.world.nranks:
                 raise ValueError("vertex_meta_per_rank must have one entry per rank")

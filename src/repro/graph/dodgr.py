@@ -37,9 +37,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
-from ..runtime.serialization import dumps
+from ..runtime.serialization import serialized_size
 from ..runtime.world import RankContext, World
-from .degree import order_key
+from .columnar import group_slices
+from .degree import order_key, order_positions
 from .distributed_graph import DistributedGraph
 from .partition import Partitioner
 
@@ -110,6 +111,7 @@ class CSRAdjacency:
         store: Dict[Hashable, Dict[str, Any]],
         order_ids: Dict[Hashable, int],
         owner_of: Any,
+        partitioner: Optional[Partitioner] = None,
     ) -> None:
         self.num_rows = len(store)
         self.vertex_rows: Dict[Hashable, int] = {}
@@ -124,19 +126,24 @@ class CSRAdjacency:
         tgt_wire_sizes: List[int] = []
         cand_cumsum: List[int] = [0]
         running = 0
+        all_int_targets = True
         for vertex, record in store.items():
             self.vertex_rows[vertex] = len(self.row_vertices)
             self.row_vertices.append(vertex)
             self.row_meta.append(record["meta"])
             self.row_degree.append(record["degree"])
-            self.row_wire_sizes.append(len(dumps(vertex)) + len(dumps(record["meta"])))
+            self.row_wire_sizes.append(
+                serialized_size(vertex) + serialized_size(record["meta"])
+            )
             for entry in record["adj"]:
                 entries.append(entry)
-                tgt_ids.append(order_ids[entry[0]])
-                tgt_owner.append(owner_of(entry[0]))
-                sz_target = len(dumps(entry[0]))
-                sz_degree = len(dumps(entry[1]))
-                sz_edge_meta = len(dumps(entry[2]))
+                target = entry[0]
+                tgt_ids.append(order_ids[target])
+                if all_int_targets and type(target) is not int:
+                    all_int_targets = False
+                sz_target = serialized_size(target)
+                sz_degree = serialized_size(entry[1])
+                sz_edge_meta = serialized_size(entry[2])
                 # One candidate tuple (r, d(r), meta(p, r)) on the legacy
                 # wire: 2 framing bytes (tuple tag + arity) plus its fields.
                 running += 2 + sz_target + sz_degree + sz_edge_meta
@@ -146,7 +153,20 @@ class CSRAdjacency:
         self.num_edges = len(entries)
         self.indptr = indptr
         self.entries = entries
-        self.tgt_owner = tgt_owner
+        # Owner ranks: one vectorized partition-map evaluation over the whole
+        # target column when ids are integers, scalar lookups otherwise.
+        self.tgt_owner = None
+        if partitioner is not None and _np is not None and all_int_targets and entries:
+            try:
+                targets = _np.fromiter(
+                    (entry[0] for entry in entries), dtype=_np.int64, count=len(entries)
+                )
+            except OverflowError:  # ids beyond int64: scalar fallback
+                targets = None
+            if targets is not None:
+                self.tgt_owner = partitioner.owners_array(targets).tolist()
+        if self.tgt_owner is None:
+            self.tgt_owner = [owner_of(entry[0]) for entry in entries]
         self.tgt_wire_sizes = tgt_wire_sizes
         self.cand_size_cumsum = cand_cumsum
         if _np is not None:
@@ -268,23 +288,47 @@ class DODGraph:
         graph:
             The decorated undirected input graph.
         mode:
-            ``"bulk"`` constructs the structure directly on the driver (no
-            messages — used when construction is not the phase being
-            measured); ``"async"`` routes every half edge through the
-            simulated runtime exactly as the MPI implementation would,
+            ``"bulk"`` (the default) constructs the structure directly on
+            the driver with the vectorized pipeline: dense ``<+`` positions
+            from one :func:`~repro.graph.degree.order_positions` argsort,
+            orientation of every half edge as one array comparison, and
+            per-target adjacency assembly from one ``lexsort`` — no
+            per-edge ``order_key`` tuples, hash calls, or owner lookups.
+            ``"bulk-legacy"`` runs the original per-half-edge Python loop
+            (kept as the reference the golden-parity tests and
+            ``benchmarks/bench_build_pipeline.py`` gate against; also the
+            automatic fallback when NumPy is unavailable).  Both produce
+            bit-identical graphs: same store insertion order, same adjacency
+            tuples in the same ``<+``-sorted order, same
+            :meth:`order_ids`.  ``"async"`` routes every half edge through
+            the simulated runtime exactly as the MPI implementation would,
             charging the traffic to the construction phase.
         """
-        if mode not in ("bulk", "async"):
+        if mode not in ("bulk", "bulk-legacy", "async"):
             raise ValueError(f"unknown build mode {mode!r}")
         dodgr = cls(graph.world, graph.partitioner, name=name)
         world = graph.world
 
         # Seed local records with each vertex's metadata and full degree so
-        # the <+ comparison can be evaluated locally on the owner.
+        # the <+ comparison can be evaluated locally on the owner.  The bulk
+        # pipeline collects the vertex/degree/meta columns in the same pass;
+        # the other modes skip the column bookkeeping entirely.
+        vectorize = mode == "bulk" and _np is not None
+        vertices: List[Hashable] = []
+        degrees: List[int] = []
+        metas: List[Any] = []
+        records: List[Dict[str, Any]] = []
         for rank in range(world.nranks):
             store = dodgr.local_store(rank)
             for u, record in graph.local_vertices(rank):
-                store[u] = {"meta": record["meta"], "degree": len(record["adj"]), "adj": []}
+                d_u = len(record["adj"])
+                rec = {"meta": record["meta"], "degree": d_u, "adj": []}
+                store[u] = rec
+                if vectorize:
+                    vertices.append(u)
+                    degrees.append(d_u)
+                    metas.append(record["meta"])
+                    records.append(rec)
 
         if mode == "async":
             world.begin_phase(phase_name or f"{dodgr.name}.build")
@@ -294,11 +338,11 @@ class DODGraph:
                     d_u = len(record["adj"])
                     meta_u = record["meta"]
                     for v, edge_meta in record["adj"].items():
-                        ctx.async_call(
+                        ctx.async_call_sized(
                             dodgr.owner(v), dodgr._h_offer_edge, v, u, d_u, meta_u, edge_meta
                         )
             world.barrier()
-        else:
+        elif not vectorize:
             for rank in range(world.nranks):
                 for u, record in graph.local_vertices(rank):
                     d_u = len(record["adj"])
@@ -310,9 +354,72 @@ class DODGraph:
                         d_v = target_record["degree"]
                         if order_key(v, d_v) < key_u:
                             target_record["adj"].append((u, d_u, edge_meta, meta_u))
+        else:
+            dodgr._build_bulk_vectorized(graph, vertices, degrees, metas, records)
+            return dodgr
 
         dodgr.sort_adjacency()
         return dodgr
+
+    def _build_bulk_vectorized(
+        self,
+        graph: DistributedGraph,
+        vertices: List[Hashable],
+        degrees: List[int],
+        metas: List[Any],
+        records: List[Dict[str, Any]],
+    ) -> None:
+        """Array-native orientation + adjacency assembly (mode ``"bulk"``).
+
+        Works on dense vertex indices (position in the rank-major ``vertices``
+        column), so everything after the one pass that flattens the
+        adjacency dicts is NumPy: the ``<+`` positions come from
+        :func:`order_positions`, the keep-this-half-edge decision is a single
+        ``pos[tgt] < pos[src]`` comparison, and each target's entries land in
+        final sorted order from one ``lexsort`` — matching the legacy loop's
+        ``sort_adjacency`` output without ever computing an ``order_key``
+        per edge.
+        """
+        world = self.world
+        index_of = {v: i for i, v in enumerate(vertices)}
+        get_index = index_of.__getitem__
+        src_counts: List[int] = []
+        tgt_indices: List[int] = []
+        edge_metas: List[Any] = []
+        for rank in range(world.nranks):
+            for _u, record in graph.local_vertices(rank):
+                adj = record["adj"]
+                src_counts.append(len(adj))
+                tgt_indices.extend(map(get_index, adj.keys()))
+                edge_metas.extend(adj.values())
+
+        pos, order = order_positions(vertices, degrees)
+        # Dense <+ ids double as the lazily-built order_ids cache: identical
+        # by construction to what order_ids() would compute from the stores.
+        order_list = order.tolist() if hasattr(order, "tolist") else order
+        self._order_ids = {vertices[g]: k for k, g in enumerate(order_list)}
+
+        if tgt_indices:
+            src = _np.repeat(
+                _np.arange(len(vertices), dtype=_np.int64),
+                _np.asarray(src_counts, dtype=_np.int64),
+            )
+            tgt = _np.asarray(tgt_indices, dtype=_np.int64)
+            keep = pos[tgt] < pos[src]
+            kept_src = src[keep]
+            kept_tgt = tgt[keep]
+            kept_meta = _np.flatnonzero(keep)
+            # Group by target, entries in the target's final <+ order.
+            sorter = _np.lexsort((pos[kept_src], kept_tgt))
+            tgt_sorted = kept_tgt[sorter]
+            src_list = kept_src[sorter].tolist()
+            tgt_list = tgt_sorted.tolist()
+            meta_list = kept_meta[sorter].tolist()
+            for start, end in group_slices(tgt_sorted):
+                records[tgt_list[start]]["adj"] = [
+                    (vertices[s], degrees[s], edge_metas[m], metas[s])
+                    for s, m in zip(src_list[start:end], meta_list[start:end])
+                ]
 
     def sort_adjacency(self) -> None:
         """Sort every Adj^m_+ list by the ``<+`` order of the target vertex."""
@@ -358,7 +465,9 @@ class DODGraph:
         rank = rank_or_ctx.rank if isinstance(rank_or_ctx, RankContext) else rank_or_ctx
         snapshot = self._csr.get(rank)
         if snapshot is None:
-            snapshot = CSRAdjacency(self.local_store(rank), self.order_ids(), self.owner)
+            snapshot = CSRAdjacency(
+                self.local_store(rank), self.order_ids(), self.owner, self.partitioner
+            )
             self._csr[rank] = snapshot
         return snapshot
 

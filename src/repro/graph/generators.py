@@ -31,7 +31,6 @@ Every generator is deterministic given its seed and returns a
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -50,27 +49,101 @@ __all__ = [
     "community_host_graph",
     "reddit_like_temporal_graph",
     "fqdn_web_graph",
+    "generator_rng",
 ]
 
 
-@dataclass
-class GeneratedGraph:
-    """Output of a generator: undirected edge records plus vertex metadata."""
+def generator_rng(
+    seed: int, rng: Optional[np.random.Generator] = None
+) -> np.random.Generator:
+    """The single source of randomness for every generator in this module.
 
-    name: str
-    edges: List[Tuple[Hashable, Hashable, Any]]
-    vertex_meta: Dict[Hashable, Any] = field(default_factory=dict)
-    #: free-form provenance (generator parameters), recorded for reports
-    params: Dict[str, Any] = field(default_factory=dict)
+    All generators draw every sample from one
+    :class:`numpy.random.Generator` (PCG64 — bit-reproducible across runs
+    and platforms) seeded here; passing ``rng`` explicitly lets callers
+    compose several generators off one shared stream.  No generator touches
+    :mod:`random`, ``numpy.random``'s legacy global state, or hash-seeded
+    iteration, so output for a given seed is pinned — see
+    ``tests/graph/test_generator_determinism.py`` for the frozen digests.
+    """
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
+
+
+class GeneratedGraph:
+    """Output of a generator: undirected edge records plus vertex metadata.
+
+    Two storage shapes coexist.  List-shaped generators pass ``edges`` (a
+    list of ``(u, v, meta)`` tuples).  Array-native generators (R-MAT,
+    Erdős–Rényi, Chung-Lu) pass ``edge_columns`` — a pair of parallel int64
+    endpoint arrays plus one shared ``edge_meta`` value — and never
+    materialize per-edge tuples unless a consumer reads :attr:`edges`, which
+    synthesizes (and caches) the exact tuple list the legacy representation
+    carried.  :meth:`to_distributed` feeds columns straight into
+    :meth:`~repro.graph.distributed_graph.DistributedGraph.from_columns`,
+    keeping the ingest path array-shaped end to end.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        edges: Optional[List[Tuple[Hashable, Hashable, Any]]] = None,
+        vertex_meta: Optional[Dict[Hashable, Any]] = None,
+        params: Optional[Dict[str, Any]] = None,
+        edge_columns: Optional[Tuple[Any, Any]] = None,
+        edge_meta: Any = None,
+    ) -> None:
+        if (edges is None) == (edge_columns is None):
+            raise ValueError("provide exactly one of edges / edge_columns")
+        self.name = name
+        self.vertex_meta: Dict[Hashable, Any] = vertex_meta if vertex_meta is not None else {}
+        #: free-form provenance (generator parameters), recorded for reports
+        self.params: Dict[str, Any] = params if params is not None else {}
+        self._edges = edges
+        self._columns = edge_columns
+        self._edge_meta = edge_meta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GeneratedGraph({self.name!r}, |E|={self.num_edges()})"
+
+    @property
+    def edges(self) -> List[Tuple[Hashable, Hashable, Any]]:
+        """Edge records as tuples (materialized lazily for columnar graphs).
+
+        Treat the returned list as **read-only**: for columnar graphs it is
+        a cached projection of the endpoint arrays, and ``num_edges()`` /
+        ``to_distributed()`` read the arrays, not this list — appending to
+        it would silently desynchronise the two views.  Build a new
+        :class:`GeneratedGraph` to derive a modified graph (see
+        ``repro.bench.datasets._simplified_reddit`` for the idiom).
+        """
+        if self._edges is None:
+            us, vs = self._columns
+            meta = self._edge_meta
+            self._edges = [
+                (u, v, meta) for u, v in zip(us.tolist(), vs.tolist())
+            ]
+        return self._edges
+
+    def edge_columns(self) -> Optional[Tuple[Any, Any]]:
+        """The endpoint arrays when this graph is columnar, else None."""
+        return self._columns
 
     def num_edges(self) -> int:
+        if self._columns is not None:
+            return len(self._columns[0])
         return len(self.edges)
 
     def num_vertices(self) -> int:
-        seen = set()
-        for u, v, _ in self.edges:
-            seen.add(u)
-            seen.add(v)
+        if self._columns is not None:
+            us, vs = self._columns
+            seen = set(np.unique(np.concatenate([us, vs])).tolist())
+        else:
+            seen = set()
+            for u, v, _ in self.edges:
+                seen.add(u)
+                seen.add(v)
         seen.update(self.vertex_meta.keys())
         return len(seen)
 
@@ -82,6 +155,18 @@ class GeneratedGraph:
         name: Optional[str] = None,
     ) -> DistributedGraph:
         """Bulk-load into a distributed graph on ``world``."""
+        if self._columns is not None:
+            us, vs = self._columns
+            return DistributedGraph.from_columns(
+                world,
+                us,
+                vs,
+                edge_meta=self._edge_meta,
+                vertex_meta=self.vertex_meta,
+                partitioner=partitioner,
+                default_vertex_meta=default_vertex_meta,
+                name=name or self.name,
+            )
         return DistributedGraph.from_edges(
             world,
             self.edges,
@@ -118,6 +203,7 @@ def rmat(
     seed: int = 0,
     edge_meta: Any = True,
     name: Optional[str] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> GeneratedGraph:
     """Generate an R-MAT graph with ``2**scale`` vertices.
 
@@ -125,7 +211,8 @@ def rmat(
     edges per vertex are sampled (before removing duplicates and self loops),
     with recursive quadrant probabilities (a, b, c, d = 1 - a - b - c).  The
     paper affixes dummy boolean metadata to every edge for the triangle
-    counting runs; ``edge_meta`` reproduces that default.
+    counting runs; ``edge_meta`` reproduces that default.  The result is
+    columnar: endpoint arrays, no per-edge tuples.
     """
     if scale < 1:
         raise ValueError("scale must be >= 1")
@@ -134,7 +221,7 @@ def rmat(
         raise ValueError("R-MAT probabilities must sum to <= 1")
     num_vertices = 1 << scale
     num_samples = num_vertices * edge_factor
-    rng = np.random.default_rng(seed)
+    rng = generator_rng(seed, rng)
 
     rows = np.zeros(num_samples, dtype=np.int64)
     cols = np.zeros(num_samples, dtype=np.int64)
@@ -153,10 +240,10 @@ def rmat(
     lo = np.minimum(rows, cols)
     hi = np.maximum(rows, cols)
     pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)
-    edges = [(int(u), int(v), edge_meta) for u, v in pairs]
     return GeneratedGraph(
         name=name or f"rmat_scale{scale}",
-        edges=edges,
+        edge_columns=(np.ascontiguousarray(pairs[:, 0]), np.ascontiguousarray(pairs[:, 1])),
+        edge_meta=edge_meta,
         params={"scale": scale, "edge_factor": edge_factor, "a": a, "b": b, "c": c, "seed": seed},
     )
 
@@ -172,22 +259,25 @@ def erdos_renyi(
     seed: int = 0,
     edge_meta: Any = True,
     name: Optional[str] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> GeneratedGraph:
     """G(n, p) random graph (vectorised sampling of the upper triangle)."""
     if num_vertices < 0:
         raise ValueError("num_vertices must be non-negative")
     if not 0.0 <= edge_probability <= 1.0:
         raise ValueError("edge_probability must be in [0, 1]")
-    rng = np.random.default_rng(seed)
-    edges: List[Tuple[Hashable, Hashable, Any]] = []
+    rng = generator_rng(seed, rng)
+    us = np.empty(0, dtype=np.int64)
+    vs = np.empty(0, dtype=np.int64)
     if num_vertices >= 2 and edge_probability > 0.0:
         iu, iv = np.triu_indices(num_vertices, k=1)
         mask = rng.random(iu.shape[0]) < edge_probability
-        for u, v in zip(iu[mask], iv[mask]):
-            edges.append((int(u), int(v), edge_meta))
+        us = iu[mask].astype(np.int64)
+        vs = iv[mask].astype(np.int64)
     return GeneratedGraph(
         name=name or f"er_{num_vertices}",
-        edges=edges,
+        edge_columns=(us, vs),
+        edge_meta=edge_meta,
         params={"n": num_vertices, "p": edge_probability, "seed": seed},
     )
 
@@ -205,6 +295,7 @@ def chung_lu_power_law(
     seed: int = 0,
     edge_meta: Any = True,
     name: Optional[str] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> GeneratedGraph:
     """Chung-Lu graph with power-law expected degrees.
 
@@ -215,7 +306,7 @@ def chung_lu_power_law(
     """
     if num_vertices < 2:
         raise ValueError("num_vertices must be >= 2")
-    rng = np.random.default_rng(seed)
+    rng = generator_rng(seed, rng)
     ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
     weights = ranks ** (-1.0 / (exponent - 1.0))
     weights *= (average_degree * num_vertices / 2.0) / weights.sum()
@@ -237,10 +328,13 @@ def chung_lu_power_law(
     # Shuffle vertex labels so ids carry no degree information (the paper's
     # datasets have arbitrary ids); keeps partitioners honest.
     perm = rng.permutation(num_vertices)
-    edges = [(int(perm[u]), int(perm[v]), edge_meta) for u, v in pairs]
     return GeneratedGraph(
         name=name or f"chung_lu_{num_vertices}",
-        edges=edges,
+        edge_columns=(
+            perm[pairs[:, 0]].astype(np.int64),
+            perm[pairs[:, 1]].astype(np.int64),
+        ),
+        edge_meta=edge_meta,
         params={
             "n": num_vertices,
             "average_degree": average_degree,
@@ -264,6 +358,7 @@ def clustered_web_graph(
     seed: int = 0,
     edge_meta: Any = True,
     name: Optional[str] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> GeneratedGraph:
     """Preferential attachment with triad closure plus planted super-hubs.
 
@@ -279,7 +374,7 @@ def clustered_web_graph(
     """
     if num_vertices < attachment_edges + 1:
         raise ValueError("num_vertices must exceed attachment_edges")
-    rng = np.random.default_rng(seed)
+    rng = generator_rng(seed, rng)
     edges_set: set = set()
     adjacency: Dict[int, List[int]] = {}
     # Target array for preferential attachment: every endpoint of every edge.
@@ -361,6 +456,7 @@ def community_host_graph(
     seed: int = 0,
     edge_meta: Any = True,
     name: Optional[str] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> GeneratedGraph:
     """Union of dense host communities plus cross links and super-hubs.
 
@@ -378,7 +474,7 @@ def community_host_graph(
     """
     if num_vertices < community_size:
         raise ValueError("num_vertices must be at least community_size")
-    rng = np.random.default_rng(seed)
+    rng = generator_rng(seed, rng)
     edges_set: set = set()
 
     def add_edge(u: int, v: int) -> None:
@@ -444,6 +540,7 @@ def reddit_like_temporal_graph(
     community_count: int = 24,
     seed: int = 0,
     name: Optional[str] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> GeneratedGraph:
     """A temporal multigraph of comments between authors.
 
@@ -463,7 +560,7 @@ def reddit_like_temporal_graph(
     """
     if num_authors < 3:
         raise ValueError("need at least 3 authors")
-    rng = np.random.default_rng(seed)
+    rng = generator_rng(seed, rng)
     communities = rng.integers(0, community_count, size=num_authors)
     # Author activity follows a power law: a few prolific posters.
     activity = (np.arange(1, num_authors + 1, dtype=np.float64)) ** -0.8
@@ -555,6 +652,7 @@ def fqdn_web_graph(
     pages_per_brand: int = 60,
     seed: int = 0,
     name: Optional[str] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> GeneratedGraph:
     """A page-level web graph whose vertex metadata is the page's FQDN string.
 
@@ -567,7 +665,7 @@ def fqdn_web_graph(
     * an education/library community exists whose members interlink heavily
       and include the competitor (booksellers inside the community).
     """
-    rng = np.random.default_rng(seed)
+    rng = generator_rng(seed, rng)
 
     domains: List[str] = [_ANCHOR_BRAND] + _BRAND_SISTERS + [_COMPETITOR]
     edu_domains = [_EDU_TEMPLATE.format(i) for i in range(num_edu_domains // 2)] + [

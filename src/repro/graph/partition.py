@@ -14,7 +14,12 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Dict, Hashable, Iterable, List
 
-from ..runtime.world import stable_hash
+from ..runtime.world import stable_hash, stable_hash_int_array, stable_tuple_hash_array
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the scalar fallback
+    _np = None
 
 __all__ = [
     "Partitioner",
@@ -41,6 +46,23 @@ class Partitioner(ABC):
     def owners(self, vertices: Iterable[Hashable]) -> List[int]:
         return [self.owner(v) for v in vertices]
 
+    def owners_array(self, ids: Any) -> Any:
+        """Owner ranks of a column of *integer* vertex ids, elementwise.
+
+        ``owners_array(a)[i] == owner(int(a[i]))`` for int64-representable
+        ids.  The base implementation loops; partitioners with arithmetic
+        placement rules override it with vectorized NumPy paths — this is
+        the bulk-ingest analogue of hoisting the per-vertex owner lookup out
+        of the per-edge loop.  Boolean ids are out of scope (columns are
+        genuine integer id spaces).
+        """
+        if _np is None:
+            return [self.owner(int(v)) for v in ids]
+        ids = _np.asarray(ids)
+        return _np.fromiter(
+            (self.owner(v) for v in ids.tolist()), dtype=_np.int64, count=len(ids)
+        )
+
 
 class CyclicPartitioner(Partitioner):
     """Round-robin by integer vertex id: vertex ``i`` lives on rank ``i % P``.
@@ -52,6 +74,11 @@ class CyclicPartitioner(Partitioner):
         if isinstance(vertex, bool) or not isinstance(vertex, int):
             return stable_hash(vertex) % self.nranks
         return vertex % self.nranks
+
+    def owners_array(self, ids: Any) -> Any:
+        if _np is None:
+            return super().owners_array(ids)
+        return _np.asarray(ids, dtype=_np.int64) % self.nranks
 
 
 class HashPartitioner(Partitioner):
@@ -69,6 +96,15 @@ class HashPartitioner(Partitioner):
         if self.seed:
             return stable_hash((self.seed, vertex)) % self.nranks
         return stable_hash(vertex) % self.nranks
+
+    def owners_array(self, ids: Any) -> Any:
+        if _np is None:
+            return super().owners_array(ids)
+        hashes = stable_hash_int_array(_np.asarray(ids, dtype=_np.int64))
+        if self.seed:
+            # Replay stable_hash((seed, vertex)) with the shared combiner.
+            hashes = stable_tuple_hash_array([stable_hash(self.seed), hashes])
+        return hashes % self.nranks
 
 
 class BlockPartitioner(Partitioner):
@@ -92,6 +128,16 @@ class BlockPartitioner(Partitioner):
         if vertex < 0:
             return stable_hash(vertex) % self.nranks
         return min(vertex // self.block, self.nranks - 1)
+
+    def owners_array(self, ids: Any) -> Any:
+        if _np is None:
+            return super().owners_array(ids)
+        ids = _np.asarray(ids, dtype=_np.int64)
+        owners = _np.minimum(ids // self.block, self.nranks - 1)
+        negative = ids < 0
+        if negative.any():
+            owners[negative] = stable_hash_int_array(ids[negative]) % self.nranks
+        return owners
 
 
 class ExplicitPartitioner(Partitioner):

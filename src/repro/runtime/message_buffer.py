@@ -42,11 +42,17 @@ RPCs).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .stats import RankStats
 
-__all__ = ["BufferedMessage", "MessageBuffer", "BufferBank", "DEFAULT_FLUSH_THRESHOLD"]
+__all__ = [
+    "BufferedMessage",
+    "SizedMessage",
+    "MessageBuffer",
+    "BufferBank",
+    "DEFAULT_FLUSH_THRESHOLD",
+]
 
 #: Default flush threshold in bytes.  YGM's default buffer capacity is on the
 #: order of hundreds of kilobytes; the simulated default is smaller so that
@@ -65,6 +71,29 @@ class BufferedMessage:
     source: int
     dest: int
     payload: bytes
+
+
+@dataclass
+class SizedMessage:
+    """A buffered RPC delivered by reference, accounted by exact size.
+
+    The simulated cluster lives in one process, so the codec run of
+    :meth:`~repro.runtime.world.RankContext.async_call` exists only to make
+    byte accounting exact.  A sized message carries the resolved handler and
+    the argument tuple directly plus ``nbytes`` — the exact
+    ``len(encode_call(handle, args))`` computed by
+    :meth:`~repro.runtime.rpc.RpcRegistry.call_size` — and behaves
+    identically to a payload of that size everywhere bytes are observed
+    (buffer occupancy, flush boundaries, every Table 4 counter).  Callers
+    must treat the arguments as frozen after sending: they are shared, not
+    copied.
+    """
+
+    source: int
+    dest: int
+    handle: Any
+    args: Tuple[Any, ...]
+    nbytes: int
 
 
 class MessageBuffer:
@@ -99,6 +128,16 @@ class MessageBuffer:
         actual_dest = self.dest if dest is None else dest
         self._pending.append(BufferedMessage(self.source, actual_dest, payload))
         self._pending_bytes += len(payload)
+        return self._pending_bytes >= self.flush_threshold_bytes
+
+    def append_sized(self, message: SizedMessage) -> bool:
+        """Queue a by-reference message accounted at its exact serialized size.
+
+        Occupancy and threshold behaviour are identical to :meth:`append`
+        with a payload of ``message.nbytes`` bytes.
+        """
+        self._pending.append(message)
+        self._pending_bytes += message.nbytes
         return self._pending_bytes >= self.flush_threshold_bytes
 
     def append_virtual(self, nbytes: int) -> bool:
@@ -209,6 +248,27 @@ class BufferBank:
         phase.bytes_sent_remote += len(payload)
         buf = self.buffer_for(dest)
         if buf.append(payload, dest=dest):
+            self._flush_buffer(buf)
+
+    def send_sized(self, message: SizedMessage) -> None:
+        """Queue one by-reference RPC accounted exactly like :meth:`send`.
+
+        Every send-side counter and buffering decision matches a payload of
+        ``message.nbytes`` bytes; only the codec run is skipped.  Local
+        destinations are delivered immediately, mirroring :meth:`send`.
+        """
+        dest = message.dest
+        if dest < 0 or dest >= self.nranks:
+            raise ValueError(f"destination rank {dest} out of range [0, {self.nranks})")
+        phase = self.stats.current
+        phase.rpcs_sent += 1
+        if dest == self.rank:
+            phase.bytes_sent_local += message.nbytes
+            self._deliver([message])
+            return
+        phase.bytes_sent_remote += message.nbytes
+        buf = self.buffer_for(dest)
+        if buf.append_sized(message):
             self._flush_buffer(buf)
 
     def send_virtual(self, dest: int, nbytes: int) -> None:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .serialization import dumps, loads
+from .serialization import dumps, loads, serialized_size
 
 __all__ = ["RpcRegistry", "RpcHandle", "RpcError"]
 
@@ -117,6 +117,18 @@ class RpcRegistry:
     def encode_call(self, handle: RpcHandle, args: Tuple[Any, ...]) -> bytes:
         """Serialize an RPC invocation into a wire payload."""
         return dumps((handle.handler_id, list(args)))
+
+    def call_size(self, handle: RpcHandle, args: Tuple[Any, ...]) -> int:
+        """Exact byte size of :meth:`encode_call` without building the payload.
+
+        ``len(encode_call(handle, args)) == call_size(handle, args)`` for
+        every encodable argument tuple; unsupported values raise
+        :class:`~repro.runtime.serialization.SerializationError` exactly as
+        encoding would.  This is what lets the sized in-process delivery path
+        (:meth:`repro.runtime.world.RankContext.async_call_sized`) account
+        byte-identical communication volume while skipping the codec.
+        """
+        return serialized_size((handle.handler_id, list(args)))
 
     def decode_call(self, payload: bytes) -> Tuple[Callable[..., Any], List[Any]]:
         """Decode a wire payload into (handler, argument list)."""

@@ -30,12 +30,30 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .message_buffer import DEFAULT_FLUSH_THRESHOLD, BufferBank, BufferedMessage
+from .message_buffer import (
+    DEFAULT_FLUSH_THRESHOLD,
+    BufferBank,
+    BufferedMessage,
+    SizedMessage,
+)
 from .network_model import CATALYST_LIKE, CostModel, SimulatedTime, simulate_time
 from .rpc import RpcHandle, RpcRegistry
 from .stats import WorldStats
 
-__all__ = ["World", "RankContext", "WorldError", "BatchedCall", "stable_hash"]
+try:  # NumPy accelerates bulk hashing when available; scalar fallback otherwise.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the scalar fallback
+    _np = None
+
+__all__ = [
+    "World",
+    "RankContext",
+    "WorldError",
+    "BatchedCall",
+    "stable_hash",
+    "stable_hash_int_array",
+    "stable_tuple_hash_array",
+]
 
 
 class WorldError(Exception):
@@ -124,6 +142,28 @@ class RankContext:
     def local_call(self, func: Callable[..., Any] | RpcHandle, *args: Any) -> None:
         """Convenience wrapper for an async call targeting this rank."""
         self.async_call(self.rank, func, *args)
+
+    def async_call_sized(
+        self, dest: int, func: Callable[..., Any] | RpcHandle, *args: Any
+    ) -> None:
+        """Fire-and-forget RPC accounted at its exact wire size, no codec run.
+
+        Byte-identical to :meth:`async_call` in every observable counter —
+        the message is buffered, flushed, counted and received as if its
+        serialized payload (whose exact size
+        :meth:`~repro.runtime.rpc.RpcRegistry.call_size` computes) had been
+        materialized — but the arguments travel by reference inside the
+        single simulating process.  Two contract differences from the codec
+        path: the caller must not mutate ``args`` after sending, and the
+        receiver sees the caller's objects rather than decoded copies (so
+        numpy scalars are not canonicalised to Python scalars).  The survey
+        drivers and bulk ingest paths, which build their argument tuples
+        fresh per call and treat them as read-only on receipt, use this to
+        stop paying ``dumps`` for accounting-only bytes.
+        """
+        handle = self.world.registry.resolve(func)
+        nbytes = self.world.registry.call_size(handle, args)
+        self.buffers.send_sized(SizedMessage(self.rank, dest, handle, args, nbytes))
 
     # ------------------------------------------------------------------
     # Batched engine support
@@ -280,13 +320,20 @@ class World:
     def _enqueue_batched(self, call: BatchedCall) -> None:
         self._inboxes[call.dest].append(call)
 
-    def _execute_message(self, msg: BufferedMessage | BatchedCall) -> None:
+    def _execute_message(self, msg: BufferedMessage | SizedMessage | BatchedCall) -> None:
         ctx = self.ranks[msg.dest]
         phase = ctx.stats.current
         if isinstance(msg, BatchedCall):
             phase.rpcs_executed += msg.virtual_rpcs
             if msg.source != msg.dest:
                 phase.bytes_received += msg.virtual_bytes
+            handler = self.registry.handler(msg.handle.handler_id)
+            handler(ctx, *msg.args)
+            return
+        if isinstance(msg, SizedMessage):
+            phase.rpcs_executed += 1
+            if msg.source != msg.dest:
+                phase.bytes_received += msg.nbytes
             handler = self.registry.handler(msg.handle.handler_id)
             handler(ctx, *msg.args)
             return
@@ -390,11 +437,70 @@ def stable_hash(key: Any) -> int:
     if isinstance(key, float):
         return stable_hash(hash(key))
     if isinstance(key, tuple):
-        h = 0x345678DEADBEEF
+        h = _TUPLE_SEED
         for item in key:
-            h = (h * 1000003) & 0xFFFFFFFFFFFFFFFF
+            h = (h * _TUPLE_MUL) & 0xFFFFFFFFFFFFFFFF
             h ^= stable_hash(item)
         return h & 0x7FFFFFFFFFFFFFFF
     if key is None:
         return 0x6A09E667F3BCC908
     raise TypeError(f"cannot stably hash value of type {type(key).__qualname__}")
+
+
+#: Tuple-combiner constants of :func:`stable_hash` — the single source of
+#: truth the vectorized replays (:func:`stable_tuple_hash_array`) share with
+#: the scalar branch above.
+_TUPLE_SEED = 0x345678DEADBEEF
+_TUPLE_MUL = 1000003
+
+
+def stable_hash_int_array(values: Any) -> Any:
+    """Vectorized :func:`stable_hash` for arrays of 64-bit integer keys.
+
+    ``stable_hash_int_array(a)[i] == stable_hash(int(a[i]))`` for every int64
+    value, including negatives (which :func:`stable_hash` first masks to 64
+    bits, exactly like the two's-complement ``uint64`` view used here).
+    Requires NumPy; int-keyed bulk paths (partition owner maps, the ``<+``
+    order, edge-list dedup routing) fall back to the scalar function per
+    element when it is unavailable.  Booleans are *not* handled — callers
+    hash genuine integer id columns only.
+    """
+    if _np is None:
+        return [stable_hash(int(v)) for v in values]
+    x = _np.asarray(values).astype(_np.uint64)
+    x = x ^ (x >> _np.uint64(30))
+    x = x * _np.uint64(0xBF58476D1CE4E5B9)
+    x = x ^ (x >> _np.uint64(27))
+    x = x * _np.uint64(0x94D049BB133111EB)
+    x = x ^ (x >> _np.uint64(31))
+    return (x & _np.uint64(0x7FFFFFFFFFFFFFFF)).astype(_np.int64)
+
+
+def stable_tuple_hash_array(item_hashes: Sequence[Any]) -> Any:
+    """Vectorized :func:`stable_hash` of same-shape tuples, one per row.
+
+    ``item_hashes`` holds, per tuple position, either a scalar
+    ``stable_hash`` value (the same item in every row — e.g. a structure
+    name) or an int64 array of per-row item hashes.
+    ``stable_tuple_hash_array([stable_hash(a), sh_col])[i] ==
+    stable_hash((a, key_i))`` where ``sh_col[i] == stable_hash(key_i)`` —
+    the replay of the scalar tuple combiner that keeps vectorized routing
+    (edge-list dedup owners, seeded hash partitioners) on exactly the ranks
+    the scalar path picks.  Requires NumPy; callers gate on its absence.
+    """
+    length = None
+    for column in item_hashes:
+        if not isinstance(column, int):
+            length = len(column)
+            break
+    if length is None:
+        raise ValueError("at least one item-hash column must be an array")
+    h = _np.full(length, _TUPLE_SEED, dtype=_np.uint64)
+    mul = _np.uint64(_TUPLE_MUL)
+    for column in item_hashes:
+        h = h * mul
+        if isinstance(column, int):
+            h = h ^ _np.uint64(column)
+        else:
+            h = h ^ _np.asarray(column).astype(_np.uint64)
+    return (h & _np.uint64(0x7FFFFFFFFFFFFFFF)).astype(_np.int64)

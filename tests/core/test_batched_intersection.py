@@ -52,6 +52,17 @@ def scalar_reference(scalar_kernel, segments, adjacency):
 
 @pytest.mark.parametrize("name,scalar,batch", KERNEL_PAIRS, ids=KERNEL_IDS)
 class TestScalarParity:
+    @pytest.fixture(autouse=True, params=["production-cutoff", "force-vectorized"])
+    def _batch_cutoff(self, request, monkeypatch):
+        # The small-input fast path reroutes tiny batches through the scalar
+        # reference, which would make these parity cases tautological; the
+        # second parametrization forces every input down the vectorized
+        # NumPy pipeline so its edge-case handling stays pinned too.
+        if request.param == "force-vectorized":
+            monkeypatch.setattr(
+                "repro.core.intersection._SCALAR_BATCH_CUTOFF", -1
+            )
+
     def assert_parity(self, scalar, batch, segments, adjacency):
         flat, offsets = flatten(segments)
         expected_matches, expected_comparisons = scalar_reference(

@@ -1,0 +1,121 @@
+"""Generator determinism: pinned digests + single-Generator seeding.
+
+Every generator draws all of its randomness from one
+:class:`numpy.random.Generator` (PCG64) created by
+:func:`repro.graph.generators.generator_rng`, so for a fixed seed the edge
+list (and vertex metadata) is bit-reproducible across runs and platforms.
+The digests below freeze that output; if one changes, a generator's sample
+sequence changed and every downstream benchmark number moves with it — treat
+that as a breaking change, not a refresh.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.graph import generators as generators_module
+from repro.graph.generators import (
+    GeneratedGraph,
+    chung_lu_power_law,
+    clustered_web_graph,
+    community_host_graph,
+    erdos_renyi,
+    fqdn_web_graph,
+    generator_rng,
+    reddit_like_temporal_graph,
+    rmat,
+)
+
+#: Frozen sha256 prefixes of each generator's full output at seed 7.
+PINNED_DIGESTS = {
+    "rmat": "83f4efee9913ee19",
+    "erdos_renyi": "a5770c9958e779ac",
+    "chung_lu": "3e9045104366812b",
+    "clustered_web": "84e6553767d73595",
+    "community_host": "b9fdb19dbe1a2cc9",
+    "reddit": "2b9501778edd7d2a",
+    "fqdn": "7436b666a8692165",
+}
+
+
+def build_all():
+    return {
+        "rmat": rmat(8, edge_factor=4, seed=7),
+        "erdos_renyi": erdos_renyi(80, 0.1, seed=7),
+        "chung_lu": chung_lu_power_law(300, seed=7),
+        "clustered_web": clustered_web_graph(200, seed=7),
+        "community_host": community_host_graph(300, community_size=60, seed=7),
+        "reddit": reddit_like_temporal_graph(120, 800, seed=7),
+        "fqdn": fqdn_web_graph(
+            600,
+            num_generic_domains=30,
+            num_edu_domains=10,
+            pages_per_brand=20,
+            seed=7,
+        ),
+    }
+
+
+def digest(graph: GeneratedGraph) -> str:
+    hasher = hashlib.sha256()
+    for u, v, meta in graph.edges:
+        hasher.update(repr((u, v, meta)).encode())
+    for vertex in sorted(graph.vertex_meta):
+        hasher.update(repr((vertex, graph.vertex_meta[vertex])).encode())
+    return hasher.hexdigest()[:16]
+
+
+def test_output_matches_pinned_digests():
+    graphs = build_all()
+    assert {name: digest(graph) for name, graph in graphs.items()} == PINNED_DIGESTS
+
+
+def test_two_runs_identical():
+    first, second = build_all(), build_all()
+    for name in first:
+        assert first[name].edges == second[name].edges, name
+        assert first[name].vertex_meta == second[name].vertex_meta, name
+
+
+def test_explicit_rng_matches_seed():
+    # Passing the equivalently-seeded Generator must reproduce the seed path:
+    # every draw flows through the one rng, nothing reads global state.
+    by_seed = rmat(8, edge_factor=4, seed=7)
+    by_rng = rmat(8, edge_factor=4, seed=999, rng=generator_rng(7))
+    assert by_seed.edges == by_rng.edges
+
+
+def test_shared_rng_stream_advances():
+    # Two graphs off one shared stream differ from each other but are
+    # reproducible as a pair — the composition contract of generator_rng.
+    def pair():
+        rng = generator_rng(21)
+        return (
+            erdos_renyi(50, 0.2, rng=rng).edges,
+            erdos_renyi(50, 0.2, rng=rng).edges,
+        )
+
+    first_a, first_b = pair()
+    second_a, second_b = pair()
+    assert first_a != first_b
+    assert first_a == second_a
+    assert first_b == second_b
+
+
+def test_no_generator_touches_global_numpy_state():
+    np.random.seed(12345)
+    before = np.random.get_state()[1].copy()
+    build_all()
+    after = np.random.get_state()[1]
+    assert (before == after).all()
+
+
+def test_columnar_generators_expose_int64_columns():
+    for graph in (rmat(6, seed=1), erdos_renyi(30, 0.2, seed=1), chung_lu_power_law(50, seed=1)):
+        columns = graph.edge_columns()
+        assert columns is not None
+        us, vs = columns
+        assert us.dtype == np.int64 and vs.dtype == np.int64
+        assert len(us) == len(vs) == graph.num_edges()

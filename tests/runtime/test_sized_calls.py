@@ -1,0 +1,147 @@
+"""Sized (payload-free) RPC delivery: byte-identical to the codec path.
+
+``async_call_sized`` skips ``dumps``/``loads`` but must replay every
+observable accounting quantity of ``async_call`` exactly — per-phase RPC and
+byte counters, buffer occupancy, flush boundaries, wire messages — because
+the legacy survey drivers now ride it and Table 4 must not move.  Also
+covers ``RpcRegistry.call_size`` and the vectorized ``stable_hash``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.runtime.serialization import SerializationError
+from repro.runtime.world import (
+    World,
+    stable_hash,
+    stable_hash_int_array,
+    stable_tuple_hash_array,
+)
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+
+def _run_workload(world: World, sized: bool) -> list:
+    """A small RPC storm with remote and local traffic plus handler replies."""
+    received = []
+
+    def _reply_handler(ctx, token):
+        received.append((ctx.rank, token))
+
+    def _main_handler(ctx, token, payload):
+        received.append((ctx.rank, token, tuple(payload)))
+        send = ctx.async_call_sized if sized else ctx.async_call
+        send((ctx.rank + 1) % ctx.nranks, h_reply, token)
+
+    h_reply = world.register_handler(_reply_handler, "reply")
+    h_main = world.register_handler(_main_handler, "main")
+
+    world.begin_phase("storm")
+    rng = random.Random(13)
+    for ctx in world.ranks:
+        send = ctx.async_call_sized if sized else ctx.async_call
+        for i in range(120):
+            dest = rng.randrange(world.nranks)
+            payload = [rng.randrange(10**6) for _ in range(rng.randrange(8))]
+            send(dest, h_main, f"{ctx.rank}:{i}", payload)
+    world.barrier()
+    received.sort()
+    return received
+
+
+def _stats_snapshot(world: World):
+    rows = []
+    for rank_stats in world.stats.ranks:
+        phase = rank_stats.phases["storm"]
+        rows.append(
+            (
+                phase.rpcs_sent,
+                phase.rpcs_executed,
+                phase.bytes_sent_local,
+                phase.bytes_sent_remote,
+                phase.bytes_received,
+                phase.wire_messages,
+                phase.wire_bytes,
+            )
+        )
+    return rows
+
+
+class TestSizedCallParity:
+    @pytest.mark.parametrize("flush_threshold", [256, 4096])
+    def test_every_counter_matches_codec_path(self, flush_threshold):
+        world_codec = World(5, flush_threshold_bytes=flush_threshold)
+        world_sized = World(5, flush_threshold_bytes=flush_threshold)
+        received_codec = _run_workload(world_codec, sized=False)
+        received_sized = _run_workload(world_sized, sized=True)
+        assert received_codec == received_sized
+        assert _stats_snapshot(world_codec) == _stats_snapshot(world_sized)
+
+    def test_local_shortcut_delivers_immediately_at_barrier_semantics(self):
+        world = World(3)
+        seen = []
+        handler = world.register_handler(lambda ctx, x: seen.append((ctx.rank, x)))
+        world.begin_phase("p")
+        world.ranks[1].async_call_sized(1, handler, "local")
+        world.barrier()
+        assert seen == [(1, "local")]
+        phase = world.stats.ranks[1].phases["p"]
+        assert phase.bytes_sent_local > 0
+        assert phase.bytes_sent_remote == 0
+        assert phase.bytes_received == 0
+
+    def test_unserializable_args_raise_like_codec(self):
+        world = World(2)
+        handler = world.register_handler(lambda ctx, x: None)
+        with pytest.raises(SerializationError):
+            world.ranks[0].async_call_sized(1, handler, object())
+
+    def test_call_size_matches_encode_call(self):
+        world = World(2)
+        handler = world.register_handler(lambda ctx, *a: None)
+        cases = [
+            (),
+            (1, 2, 3),
+            ("q", 5, None, [1.5, "meta"], {"k": (1, 2)}),
+            (list(range(500)),),
+            (2**80, -(2**90)),
+        ]
+        for args in cases:
+            assert world.registry.call_size(handler, args) == len(
+                world.registry.encode_call(handler, args)
+            )
+
+
+@pytest.mark.skipif(np is None, reason="requires numpy")
+class TestStableHashArray:
+    def test_matches_scalar_on_random_int64(self):
+        rng = random.Random(5)
+        values = [rng.randrange(-(2**63), 2**63) for _ in range(2000)]
+        values += [0, 1, -1, 2**63 - 1, -(2**63)]
+        hashed = stable_hash_int_array(np.array(values, dtype=np.int64))
+        assert [int(h) for h in hashed] == [stable_hash(v) for v in values]
+
+    def test_empty_array(self):
+        assert len(stable_hash_int_array(np.empty(0, dtype=np.int64))) == 0
+
+    def test_tuple_hash_array_matches_scalar(self):
+        keys = [0, 1, -7, 2**40, 12345]
+        hashes = stable_hash_int_array(np.array(keys, dtype=np.int64))
+        # Scalar prefix item (a structure name) + per-row key column.
+        combined = stable_tuple_hash_array([stable_hash("edge_list"), hashes])
+        assert [int(h) for h in combined] == [
+            stable_hash(("edge_list", k)) for k in keys
+        ]
+        # Two array columns: canonical pairs.
+        pair = stable_tuple_hash_array([hashes, hashes])
+        assert [int(h) for h in pair] == [stable_hash((k, k)) for k in keys]
+
+    def test_tuple_hash_array_requires_an_array_column(self):
+        with pytest.raises(ValueError):
+            stable_tuple_hash_array([stable_hash("only-scalars")])
