@@ -1,0 +1,208 @@
+"""Columnar survey engine — batch reducers vs scalar callbacks (ISSUE 3).
+
+Not a figure from the paper: this benchmark validates and gates the columnar
+survey execution engine.  The columnar engine coalesces one RPC per (source
+rank, destination rank) pair, intersects every wedge of the pair in one
+row-kernel call, drives candidate generation with array ops instead of the
+per-wedge Python walk, and delivers triangles to reducers as
+``TriangleBatch`` columns consumed by ``callback_batch``.
+
+Contract, pinned by the parity tests below (these run before — and fail the
+CI smoke job independently of — the speedup gate):
+
+* **cross-engine** (scalar callbacks on the batched engine vs batch
+  reducers on the columnar engine): identical triangle counts, reducer
+  outputs, communicated bytes, wire messages and simulated seconds, on the
+  push path and the push-pull path (including real pulls);
+* **within the columnar engine** (scalar parity oracle vs ``callback_batch``):
+  bit-identical *everything*, including the counting-set increment streams
+  of metadata reducers — batch reducers apply increments in scalar
+  invocation order, so cache evictions land on the same triangle.
+
+The gate: columnar host time must beat the scalar-callback batched engine by
+at least 3x on the R-MAT weak-scaling stand-in, for both a bare counting
+reducer and a metadata (degree-triple) reducer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _artifacts import emit, emit_json
+from repro.analysis.degree_triples import decorate_with_degrees
+from repro.bench import format_table, human_bytes, load_dataset
+from repro.core.callbacks import DegreeTripleSurvey, TriangleCounter
+from repro.core.push_pull import triangle_survey_push_pull
+from repro.core.survey import triangle_survey_push
+from repro.graph.dodgr import DODGraph
+from repro.runtime.world import World
+
+NODES = 16
+SPEEDUP_GATE = 3.0
+
+
+def make_counter(world):
+    return TriangleCounter(world)
+
+
+def make_degree_survey(world):
+    return DegreeTripleSurvey(world, name="bench_degree_triples")
+
+
+REDUCERS = {
+    "triangle_count": (make_counter, False),
+    "degree_triples": (make_degree_survey, True),
+}
+
+
+def run_once(dataset, algorithm, engine, reducer_name, hide_batch=False):
+    """Fresh world/DODGr per run so nothing is shared between engines."""
+    world = World(NODES)
+    factory, decorate = REDUCERS[reducer_name]
+    graph = dataset.to_distributed(world)
+    if decorate:
+        graph = decorate_with_degrees(graph)
+    dodgr = DODGraph.build(graph, mode="bulk")
+    reducer = factory(world)
+    if hide_batch:
+        # Hiding callback_batch turns the columnar engine into its scalar
+        # fallback — the parity oracle for batch reducers.
+        callback = lambda ctx, tri: reducer.callback(ctx, tri)  # noqa: E731
+    else:
+        callback = reducer.callback
+    survey = triangle_survey_push if algorithm == "push" else triangle_survey_push_pull
+    report = survey(dodgr, callback, engine=engine)
+    if hasattr(reducer, "finalize"):
+        reducer.finalize()
+    return report, reducer.result()
+
+
+def assert_cross_engine_parity(scalar, columnar, context):
+    """Scalar-callback batched run vs batch-reducer columnar run."""
+    assert columnar[0].triangles == scalar[0].triangles, context
+    assert columnar[1] == scalar[1], f"{context}: reducer outputs differ"
+    assert columnar[0].communication_bytes == scalar[0].communication_bytes, context
+    assert columnar[0].wire_messages == scalar[0].wire_messages, context
+    assert columnar[0].wedge_checks == scalar[0].wedge_checks, context
+    assert columnar[0].vertices_pulled == scalar[0].vertices_pulled, context
+    assert columnar[0].simulated_seconds == pytest.approx(
+        scalar[0].simulated_seconds
+    ), context
+
+
+def test_parity_push_paths(benchmark):
+    """Push path: counting reducer parity across engines, metadata reducer
+    parity within the columnar engine (counting-set streams included)."""
+    dataset = load_dataset("rmat-weak")
+
+    def run_all():
+        return {
+            "count_scalar": run_once(dataset, "push", "batched", "triangle_count"),
+            "count_columnar": run_once(dataset, "push", "columnar", "triangle_count"),
+            "degree_oracle": run_once(
+                dataset, "push", "columnar", "degree_triples", hide_batch=True
+            ),
+            "degree_columnar": run_once(dataset, "push", "columnar", "degree_triples"),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert_cross_engine_parity(
+        results["count_scalar"], results["count_columnar"], "push/triangle_count"
+    )
+    assert_cross_engine_parity(
+        results["degree_oracle"], results["degree_columnar"], "push/degree_triples"
+    )
+
+
+def test_parity_pull_path(benchmark):
+    """Push-Pull path with real pulls: same parity matrix as the push path."""
+    dataset = load_dataset("reddit-like")
+
+    def run_all():
+        return {
+            "count_scalar": run_once(dataset, "push_pull", "batched", "triangle_count"),
+            "count_columnar": run_once(
+                dataset, "push_pull", "columnar", "triangle_count"
+            ),
+            "degree_oracle": run_once(
+                dataset, "push_pull", "columnar", "degree_triples", hide_batch=True
+            ),
+            "degree_columnar": run_once(
+                dataset, "push_pull", "columnar", "degree_triples"
+            ),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # The fixture must actually exercise the pull phase.
+    assert results["count_scalar"][0].vertices_pulled > 0
+    assert_cross_engine_parity(
+        results["count_scalar"], results["count_columnar"], "push_pull/triangle_count"
+    )
+    assert_cross_engine_parity(
+        results["degree_oracle"], results["degree_columnar"], "push_pull/degree_triples"
+    )
+
+
+def test_columnar_speedup_gate(benchmark):
+    """R-MAT weak-scaling input: >= 3x host time vs scalar callbacks."""
+    dataset = load_dataset("rmat-weak")
+
+    def run_all():
+        out = {}
+        for reducer_name in REDUCERS:
+            scalar = run_once(dataset, "push", "batched", reducer_name)
+            columnar = run_once(dataset, "push", "columnar", reducer_name)
+            assert_cross_engine_parity(scalar, columnar, f"gate/{reducer_name}")
+            out[reducer_name] = (scalar, columnar)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    trajectory = {"dataset": dataset.name, "nodes": NODES, "gate": SPEEDUP_GATE}
+    speedups = {}
+    for reducer_name, (scalar, columnar) in results.items():
+        speedup = scalar[0].host_seconds / columnar[0].host_seconds
+        speedups[reducer_name] = speedup
+        trajectory[reducer_name] = {
+            "triangles": scalar[0].triangles,
+            "comm_bytes": scalar[0].communication_bytes,
+            "scalar_host_seconds": scalar[0].host_seconds,
+            "columnar_host_seconds": columnar[0].host_seconds,
+            "speedup": speedup,
+            "parity": True,
+        }
+        for engine_name, (report, _result) in (
+            ("batched+scalar", scalar),
+            ("columnar+batch", columnar),
+        ):
+            rows.append(
+                {
+                    "reducer": reducer_name,
+                    "engine": engine_name,
+                    "triangles": report.triangles,
+                    "comm volume": human_bytes(report.communication_bytes),
+                    "wire msgs": report.wire_messages,
+                    "host seconds": round(report.host_seconds, 3),
+                }
+            )
+        rows.append({"reducer": reducer_name, "engine": f"speedup {speedup:.2f}x"})
+    emit(
+        format_table(
+            rows, title="Columnar survey engine — scalar callbacks vs batch reducers"
+        )
+    )
+    emit_json("bench_survey_engine", trajectory)
+
+    benchmark.extra_info.update(
+        {
+            "dataset": dataset.name,
+            "nodes": NODES,
+            "speedups": speedups,
+        }
+    )
+    for reducer_name, speedup in speedups.items():
+        assert speedup >= SPEEDUP_GATE, (
+            f"columnar speedup {speedup:.2f}x on {reducer_name} "
+            f"below the {SPEEDUP_GATE}x gate"
+        )

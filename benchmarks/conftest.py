@@ -18,6 +18,27 @@ import pytest
 from _artifacts import reset_artifacts
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine",
+        action="store",
+        default="legacy",
+        choices=("legacy", "batched", "columnar"),
+        help=(
+            "Survey execution engine the paper-table benchmarks run on "
+            "(default: legacy).  Every engine reproduces identical result "
+            "columns — communicated bytes included — so the tables can be "
+            "regenerated on any of them."
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def survey_engine(request):
+    """Engine selected with ``--engine {legacy,batched,columnar}``."""
+    return request.config.getoption("--engine")
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_artifact_file():
     """Start each benchmark session with an empty artifact file."""

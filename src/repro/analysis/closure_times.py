@@ -75,6 +75,7 @@ def run_closure_time_survey(
     algorithm: str = "push_pull",
     timestamp: Optional[Callable[[Any], float]] = None,
     graph_name: Optional[str] = None,
+    engine: str = "columnar",
 ) -> ClosureTimeResult:
     """Survey triangle closure times over a temporal graph.
 
@@ -87,15 +88,23 @@ def run_closure_time_survey(
         Pre-built DODGr (built on demand otherwise).
     algorithm:
         ``"push"`` or ``"push_pull"``.
+    engine:
+        Survey engine (``"legacy"``, ``"batched"``, ``"columnar"``); the
+        columnar default buckets closure times through
+        :meth:`ClosureTimeSurvey.callback_batch`.
     """
     world = graph.world
     if dodgr is None:
         dodgr = DODGraph.build(graph, mode="bulk")
     survey = ClosureTimeSurvey(world, timestamp=timestamp or edge_timestamp)
     if algorithm == "push":
-        report = triangle_survey_push(dodgr, survey.callback, graph_name=graph_name)
+        report = triangle_survey_push(
+            dodgr, survey.callback, graph_name=graph_name, engine=engine
+        )
     elif algorithm == "push_pull":
-        report = triangle_survey_push_pull(dodgr, survey.callback, graph_name=graph_name)
+        report = triangle_survey_push_pull(
+            dodgr, survey.callback, graph_name=graph_name, engine=engine
+        )
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
     survey.finalize()

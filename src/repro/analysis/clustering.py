@@ -59,11 +59,19 @@ class TrussResult:
         return sum(1 for value in self.support.values() if value >= k)
 
 
-def _run(dodgr: DODGraph, callback, algorithm: str, graph_name: Optional[str]) -> SurveyReport:
+def _run(
+    dodgr: DODGraph,
+    callback,
+    algorithm: str,
+    graph_name: Optional[str],
+    engine: str = "columnar",
+) -> SurveyReport:
     if algorithm == "push":
-        return triangle_survey_push(dodgr, callback, graph_name=graph_name)
+        return triangle_survey_push(dodgr, callback, graph_name=graph_name, engine=engine)
     if algorithm == "push_pull":
-        return triangle_survey_push_pull(dodgr, callback, graph_name=graph_name)
+        return triangle_survey_push_pull(
+            dodgr, callback, graph_name=graph_name, engine=engine
+        )
     raise ValueError(f"unknown algorithm {algorithm!r}")
 
 
@@ -72,13 +80,18 @@ def run_clustering_coefficients(
     dodgr: Optional[DODGraph] = None,
     algorithm: str = "push_pull",
     graph_name: Optional[str] = None,
+    engine: str = "columnar",
 ) -> ClusteringResult:
-    """Compute per-vertex clustering coefficients with a local-count survey."""
+    """Compute per-vertex clustering coefficients with a local-count survey.
+
+    Runs on the columnar engine by default — the per-vertex counts flow
+    through :meth:`LocalTriangleCounter.callback_batch`.
+    """
     world = graph.world
     if dodgr is None:
         dodgr = DODGraph.build(graph, mode="bulk")
     counter = LocalTriangleCounter(world)
-    report = _run(dodgr, counter.callback, algorithm, graph_name)
+    report = _run(dodgr, counter.callback, algorithm, graph_name, engine)
     counter.finalize()
     local_counts = counter.result()
 
@@ -97,12 +110,13 @@ def run_truss_support(
     dodgr: Optional[DODGraph] = None,
     algorithm: str = "push_pull",
     graph_name: Optional[str] = None,
+    engine: str = "columnar",
 ) -> TrussResult:
     """Compute per-edge triangle support (truss decomposition input)."""
     world = graph.world
     if dodgr is None:
         dodgr = DODGraph.build(graph, mode="bulk")
     counter = EdgeSupportCounter(world)
-    report = _run(dodgr, counter.callback, algorithm, graph_name)
+    report = _run(dodgr, counter.callback, algorithm, graph_name, engine)
     counter.finalize()
     return TrussResult(report=report, support=counter.result())

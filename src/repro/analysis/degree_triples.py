@@ -63,6 +63,7 @@ def run_degree_triple_survey(
     algorithm: str = "push_pull",
     graph_name: Optional[str] = None,
     already_decorated: bool = False,
+    engine: str = "columnar",
 ) -> DegreeTripleResult:
     """Decorate with degrees (unless told otherwise) and run the triple survey."""
     world = graph.world
@@ -71,9 +72,13 @@ def run_degree_triple_survey(
         dodgr = DODGraph.build(decorated, mode="bulk")
     survey = DegreeTripleSurvey(world)
     if algorithm == "push":
-        report = triangle_survey_push(dodgr, survey.callback, graph_name=graph_name)
+        report = triangle_survey_push(
+            dodgr, survey.callback, graph_name=graph_name, engine=engine
+        )
     elif algorithm == "push_pull":
-        report = triangle_survey_push_pull(dodgr, survey.callback, graph_name=graph_name)
+        report = triangle_survey_push_pull(
+            dodgr, survey.callback, graph_name=graph_name, engine=engine
+        )
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
     survey.finalize()

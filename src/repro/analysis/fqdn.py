@@ -86,6 +86,7 @@ def run_fqdn_survey(
     dodgr: Optional[DODGraph] = None,
     algorithm: str = "push_pull",
     graph_name: Optional[str] = None,
+    engine: str = "columnar",
 ) -> FqdnSurveyResult:
     """Run the distributed FQDN 3-tuple survey.
 
@@ -96,9 +97,13 @@ def run_fqdn_survey(
         dodgr = DODGraph.build(graph, mode="bulk")
     survey = FqdnTripleSurvey(world)
     if algorithm == "push":
-        report = triangle_survey_push(dodgr, survey.callback, graph_name=graph_name)
+        report = triangle_survey_push(
+            dodgr, survey.callback, graph_name=graph_name, engine=engine
+        )
     elif algorithm == "push_pull":
-        report = triangle_survey_push_pull(dodgr, survey.callback, graph_name=graph_name)
+        report = triangle_survey_push_pull(
+            dodgr, survey.callback, graph_name=graph_name, engine=engine
+        )
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
     survey.finalize()

@@ -69,13 +69,23 @@ def truss_decomposition(
     dodgr: Optional[DODGraph] = None,
     algorithm: str = "push_pull",
     graph_name: Optional[str] = None,
+    engine: str = "columnar",
 ) -> TrussDecomposition:
     """Compute the trussness of every edge of ``graph``.
 
-    The triangle-support survey runs distributed; the peeling post-processing
-    runs on the gathered (graph, support) pair, which is proportional to the
-    edge count — the quantity the paper's applications treat as small enough
-    to post-process on one machine.
+    The triangle-support survey runs distributed (on the columnar engine by
+    default, so the initial supports come out of
+    :meth:`~repro.core.callbacks.EdgeSupportCounter.callback_batch`); the
+    peeling post-processing runs on the gathered (graph, support) pair,
+    which is proportional to the edge count — the quantity the paper's
+    applications treat as small enough to post-process on one machine.
+
+    The peel itself is a bucket queue over support values fed by a
+    triangle-incidence index: every triangle is enumerated exactly once up
+    front (index-ordered neighbour intersection), and peeling an edge walks
+    its incident triangles directly instead of recomputing an
+    ``adjacency[u] & adjacency[v]`` set intersection per peeled edge — the
+    former hot spot of the decomposition.
     """
     world = graph.world
     if dodgr is None:
@@ -83,9 +93,13 @@ def truss_decomposition(
 
     counter = EdgeSupportCounter(world)
     if algorithm == "push":
-        report = triangle_survey_push(dodgr, counter.callback, graph_name=graph_name)
+        report = triangle_survey_push(
+            dodgr, counter.callback, graph_name=graph_name, engine=engine
+        )
     elif algorithm == "push_pull":
-        report = triangle_survey_push_pull(dodgr, counter.callback, graph_name=graph_name)
+        report = triangle_survey_push_pull(
+            dodgr, counter.callback, graph_name=graph_name, engine=engine
+        )
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
     counter.finalize()
@@ -103,6 +117,27 @@ def truss_decomposition(
     for u, v, _meta in graph.edges():
         support[_edge_key(u, v)] = initial_support.get(_edge_key(u, v), 0)
 
+    # One-shot triangle incidence: enumerate each triangle once (vertices in
+    # insertion-index order, so Δuvw is found exactly at its lowest-index
+    # edge) and invert into edge -> incident triangle ids.
+    index_of: Dict[Hashable, int] = {v: i for i, v in enumerate(adjacency)}
+    triangles: List[Tuple[Edge, Edge, Edge]] = []
+    triangles_of: Dict[Edge, List[int]] = {}
+    for u, neighbours in adjacency.items():
+        iu = index_of[u]
+        for v in neighbours:
+            if index_of[v] <= iu:
+                continue
+            iv = index_of[v]
+            for w in neighbours & adjacency[v]:
+                if index_of[w] <= iv:
+                    continue
+                tri = (_edge_key(u, v), _edge_key(u, w), _edge_key(v, w))
+                tri_id = len(triangles)
+                triangles.append(tri)
+                for edge in tri:
+                    triangles_of.setdefault(edge, []).append(tri_id)
+
     # Bucket queue over support values (supports only ever decrease).
     trussness: Dict[Edge, int] = {}
     remaining = set(support)
@@ -111,6 +146,7 @@ def truss_decomposition(
         buckets.setdefault(value, set()).add(edge)
 
     current_support = dict(support)
+    empty: List[int] = []
     level = 0
     processed = 0
     while processed < len(support):
@@ -123,19 +159,23 @@ def truss_decomposition(
         edge = buckets[level].pop()
         if edge not in remaining:
             continue
-        u, v = edge
         # Trussness of an edge peeled at support s is s + 2.
         trussness[edge] = level + 2
         remaining.discard(edge)
         processed += 1
-        adjacency[u].discard(v)
-        adjacency[v].discard(u)
-        # Every common neighbour w formed a triangle with (u, v); peeling the
-        # edge lowers the support of (u, w) and (v, w).
-        for w in adjacency[u] & adjacency[v]:
-            for other in (_edge_key(u, w), _edge_key(v, w)):
-                if other not in remaining:
-                    continue
+        # Every surviving triangle through this edge loses it; the two other
+        # edges (if both still present) each lose one unit of support.
+        for tri_id in triangles_of.get(edge, empty):
+            e1, e2, e3 = triangles[tri_id]
+            if e1 == edge:
+                others = (e2, e3)
+            elif e2 == edge:
+                others = (e1, e3)
+            else:
+                others = (e1, e2)
+            if others[0] not in remaining or others[1] not in remaining:
+                continue
+            for other in others:
                 old = current_support[other]
                 new = max(level, old - 1)
                 if new != old:

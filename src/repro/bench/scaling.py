@@ -94,8 +94,14 @@ def run_survey_at_scale(
     algorithm: str = "push_pull",
     callback_factory: Optional[CallbackFactory] = None,
     decorate: Optional[Callable[[DistributedGraph], DistributedGraph]] = None,
+    engine: Optional[str] = None,
 ) -> ScalingPoint:
-    """Distribute ``dataset`` over ``nodes`` ranks and run one survey."""
+    """Distribute ``dataset`` over ``nodes`` ranks and run one survey.
+
+    ``engine`` selects the survey execution engine (``legacy`` — the
+    default, ``batched``, ``columnar``); every engine produces identical
+    reports, so the paper figures can be regenerated on any of them.
+    """
     world = World(nodes)
     graph = dataset.to_distributed(world)
     if decorate is not None:
@@ -114,9 +120,13 @@ def run_survey_at_scale(
 
     host_start = time.perf_counter()
     if algorithm == "push":
-        report = triangle_survey_push(dodgr, callback, graph_name=dataset.name)
+        report = triangle_survey_push(
+            dodgr, callback, graph_name=dataset.name, engine=engine
+        )
     elif algorithm == "push_pull":
-        report = triangle_survey_push_pull(dodgr, callback, graph_name=dataset.name)
+        report = triangle_survey_push_pull(
+            dodgr, callback, graph_name=dataset.name, engine=engine
+        )
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
     if finalize is not None:
@@ -131,6 +141,7 @@ def strong_scaling(
     algorithm: str = "push_pull",
     callback_factory: Optional[CallbackFactory] = None,
     decorate: Optional[Callable[[DistributedGraph], DistributedGraph]] = None,
+    engine: Optional[str] = None,
 ) -> ScalingResult:
     """Fixed dataset, growing node counts (Figs. 4 and 7, Tables 3 and 4)."""
     result = ScalingResult(dataset=dataset.name, algorithm=algorithm)
@@ -142,6 +153,7 @@ def strong_scaling(
                 algorithm=algorithm,
                 callback_factory=callback_factory,
                 decorate=decorate,
+                engine=engine,
             )
         )
     return result
@@ -155,6 +167,7 @@ def weak_scaling_rmat(
     callback_factory: Optional[CallbackFactory] = None,
     decorate: Optional[Callable[[DistributedGraph], DistributedGraph]] = None,
     seed: int = 99,
+    engine: Optional[str] = None,
 ) -> ScalingResult:
     """R-MAT weak scaling: one R-MAT scale step per node-count doubling (Figs. 5/9).
 
@@ -173,6 +186,7 @@ def weak_scaling_rmat(
                 algorithm=algorithm,
                 callback_factory=callback_factory,
                 decorate=decorate,
+                engine=engine,
             )
         )
     return result

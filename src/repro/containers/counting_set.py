@@ -14,7 +14,7 @@ e.g. the pair ``(ceil(log2 dt_open), ceil(log2 dt_close))`` of Algorithm 4.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..runtime.world import RankContext, World, stable_hash
 
@@ -88,6 +88,24 @@ class DistributedCountingSet:
         cache[item] = cache.get(item, 0) + amount
         if len(cache) >= self.cache_capacity:
             self.flush_cache(ctx)
+
+    def increment_run(self, ctx: RankContext, items: Iterable[Any]) -> None:
+        """Apply one unit increment per item, in order, through the cache.
+
+        Bit-identical to calling :meth:`async_increment` once per item —
+        same cache contents, same eviction (capacity-flush) boundaries, same
+        increment messages in the same order — with the per-item call
+        overhead hoisted out.  This is the primitive the batch reducers
+        (``callback_batch``) use to keep the columnar survey engine's
+        communication byte-for-byte equal to the scalar callback path.
+        """
+        cache = self._cache(ctx)
+        capacity = self.cache_capacity
+        get = cache.get
+        for item in items:
+            cache[item] = get(item, 0) + 1
+            if len(cache) >= capacity:
+                self.flush_cache(ctx)
 
     def flush_cache(self, ctx: RankContext) -> None:
         """Send this rank's cached counts to their owner ranks."""

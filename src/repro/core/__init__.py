@@ -22,9 +22,12 @@ from .callbacks import (
     MaxEdgeLabelDistribution,
     TriangleCounter,
     log2_bucket,
+    log2_bucket_array,
 )
 from .intersection import (
+    BATCH_KERNELS,
     INTERSECTION_KERNELS,
+    ROW_KERNELS,
     IntersectionResult,
     binary_search_intersection,
     hash_intersection,
@@ -38,7 +41,12 @@ from .push_pull import (
     triangle_survey_push_pull,
 )
 from .results import SurveyReport
-from .survey import TriangleCallback, triangle_survey_push
+from .survey import (
+    SURVEY_ENGINES,
+    TriangleCallback,
+    resolve_batch_callback,
+    triangle_survey_push,
+)
 from .wedges import per_rank_wedge_counts, wedge_count, wedge_count_from_edges, work_rate
 
 __all__ = [
@@ -58,11 +66,16 @@ __all__ = [
     "DegreeTripleSurvey",
     "FqdnTripleSurvey",
     "log2_bucket",
+    "log2_bucket_array",
     "merge_path_intersection",
     "binary_search_intersection",
     "hash_intersection",
     "IntersectionResult",
     "INTERSECTION_KERNELS",
+    "BATCH_KERNELS",
+    "ROW_KERNELS",
+    "SURVEY_ENGINES",
+    "resolve_batch_callback",
     "wedge_count",
     "per_rank_wedge_counts",
     "wedge_count_from_edges",

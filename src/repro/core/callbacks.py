@@ -25,6 +25,23 @@ Included surveys
   ``(ceil(log2 d(p)), ceil(log2 d(q)), ceil(log2 d(r)))`` triples.
 * :class:`FqdnTripleSurvey` — Section 5.8: counts of FQDN 3-tuples over
   triangles whose three FQDNs are pairwise distinct.
+
+Columnar delivery
+-----------------
+
+Every reducer exposes two entry points: the scalar ``callback(ctx, tri)``
+(one :class:`~repro.graph.metadata.TriangleMetadata` per triangle — the
+parity oracle, and what the legacy/batched engines invoke) and a vectorized
+``callback_batch(ctx, batch)`` consuming a
+:class:`~repro.graph.metadata.TriangleBatch` of columns, which the columnar
+engine (``triangle_survey(..., engine="columnar")``) prefers.  The batch
+methods are contract-exact aggregates of the scalar ones: they derive their
+keys column-wise (NumPy where it helps) but apply every counting-set
+increment in the scalar invocation order through
+:meth:`~repro.containers.counting_set.DistributedCountingSet.increment_run`,
+so reducer outputs *and* every communication counter (cache evictions
+included) are bit-identical to running the scalar callback per triangle of
+the same batches.
 """
 
 from __future__ import annotations
@@ -33,9 +50,14 @@ import math
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..containers.counting_set import DistributedCountingSet
-from ..graph.metadata import TriangleMetadata, edge_timestamp
+from ..graph.metadata import TriangleBatch, TriangleMetadata, edge_timestamp
 from ..runtime.reductions import all_reduce_sum
 from ..runtime.world import RankContext, World
+
+try:  # NumPy accelerates the batch reducers' key derivation when available.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the scalar fallbacks
+    _np = None
 
 __all__ = [
     "TriangleCounter",
@@ -46,6 +68,7 @@ __all__ = [
     "DegreeTripleSurvey",
     "FqdnTripleSurvey",
     "log2_bucket",
+    "log2_bucket_array",
 ]
 
 
@@ -54,10 +77,25 @@ def log2_bucket(value: float) -> int:
 
     Values of zero or below (possible when two comments carry an identical
     timestamp) fall into bucket 0, as does any value below one second.
+    Computed from the float's exponent (``frexp``) rather than a rounded
+    ``log2`` so the result is the exact mathematical ceiling for every
+    representable value — and so the vectorized
+    :func:`log2_bucket_array` can reproduce it bit-for-bit.
     """
     if value <= 1.0:
         return 0
-    return int(math.ceil(math.log2(value)))
+    mantissa, exponent = math.frexp(value)
+    # value == mantissa * 2**exponent with 0.5 <= mantissa < 1, so
+    # ceil(log2(value)) is `exponent`, except exactly at powers of two.
+    return exponent - 1 if mantissa == 0.5 else exponent
+
+
+def log2_bucket_array(values: Any) -> Any:
+    """Vectorized :func:`log2_bucket` over a float array (requires NumPy)."""
+    v = _np.asarray(values, dtype=_np.float64)
+    mantissa, exponent = _np.frexp(v)
+    buckets = _np.where(mantissa == 0.5, exponent - 1, exponent)
+    return _np.where(v <= 1.0, 0, buckets).astype(_np.int64)
 
 
 class TriangleCounter:
@@ -69,6 +107,9 @@ class TriangleCounter:
 
     def callback(self, ctx: RankContext, tri: TriangleMetadata) -> None:
         self._per_rank[ctx.rank] += 1
+
+    def callback_batch(self, ctx: RankContext, batch: TriangleBatch) -> None:
+        self._per_rank[ctx.rank] += len(batch)
 
     def local_count(self, rank: int) -> int:
         return self._per_rank[rank]
@@ -87,16 +128,29 @@ class LocalTriangleCounter:
     would.
     """
 
-    def __init__(self, world: World, cache_capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        world: World,
+        cache_capacity: int = 1024,
+        name: Optional[str] = None,
+    ) -> None:
         self.world = world
         self.counts = DistributedCountingSet(
-            world, name=None, cache_capacity=cache_capacity
+            world, name=name, cache_capacity=cache_capacity
         )
 
     def callback(self, ctx: RankContext, tri: TriangleMetadata) -> None:
         self.counts.async_increment(ctx, tri.p)
         self.counts.async_increment(ctx, tri.q)
         self.counts.async_increment(ctx, tri.r)
+
+    def callback_batch(self, ctx: RankContext, batch: TriangleBatch) -> None:
+        items = [
+            vertex
+            for triple in zip(batch.p, batch.q, batch.r)
+            for vertex in triple
+        ]
+        self.counts.increment_run(ctx, items)
 
     def finalize(self) -> None:
         """Flush caches; call before the final barrier completes the survey."""
@@ -117,10 +171,15 @@ class EdgeSupportCounter:
     counts of (u, v) and (v, u) coincide.
     """
 
-    def __init__(self, world: World, cache_capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        world: World,
+        cache_capacity: int = 1024,
+        name: Optional[str] = None,
+    ) -> None:
         self.world = world
         self.counts = DistributedCountingSet(
-            world, name=None, cache_capacity=cache_capacity
+            world, name=name, cache_capacity=cache_capacity
         )
 
     @staticmethod
@@ -134,6 +193,16 @@ class EdgeSupportCounter:
         self.counts.async_increment(ctx, self._edge_key(tri.p, tri.q))
         self.counts.async_increment(ctx, self._edge_key(tri.p, tri.r))
         self.counts.async_increment(ctx, self._edge_key(tri.q, tri.r))
+
+    def callback_batch(self, ctx: RankContext, batch: TriangleBatch) -> None:
+        edge_key = self._edge_key
+        items: List[Tuple[Any, Any]] = []
+        append = items.append
+        for p, q, r in zip(batch.p, batch.q, batch.r):
+            append(edge_key(p, q))
+            append(edge_key(p, r))
+            append(edge_key(q, r))
+        self.counts.increment_run(ctx, items)
 
     def finalize(self) -> None:
         self.counts.flush_all_caches()
@@ -156,12 +225,13 @@ class MaxEdgeLabelDistribution:
         edge_label: Optional[Callable[[Any], Any]] = None,
         vertex_label: Optional[Callable[[Any], Any]] = None,
         cache_capacity: int = 1024,
+        name: Optional[str] = None,
     ) -> None:
         self.world = world
         self.edge_label = edge_label if edge_label is not None else (lambda meta: meta)
         self.vertex_label = vertex_label if vertex_label is not None else (lambda meta: meta)
         self.counters = DistributedCountingSet(
-            world, name=None, cache_capacity=cache_capacity
+            world, name=name, cache_capacity=cache_capacity
         )
 
     def callback(self, ctx: RankContext, tri: TriangleMetadata) -> None:
@@ -178,6 +248,20 @@ class MaxEdgeLabelDistribution:
             self.edge_label(tri.meta_qr),
         )
         self.counters.async_increment(ctx, max_edge)
+
+    def callback_batch(self, ctx: RankContext, batch: TriangleBatch) -> None:
+        vertex_label = self.vertex_label
+        edge_label = self.edge_label
+        items: List[Any] = []
+        for mp, mq, mr, mpq, mpr, mqr in zip(
+            batch.meta_p, batch.meta_q, batch.meta_r,
+            batch.meta_pq, batch.meta_pr, batch.meta_qr,
+        ):
+            lp, lq, lr = vertex_label(mp), vertex_label(mq), vertex_label(mr)
+            if lp == lq or lq == lr or lp == lr:
+                continue
+            items.append(max(edge_label(mpq), edge_label(mpr), edge_label(mqr)))
+        self.counters.increment_run(ctx, items)
 
     def finalize(self) -> None:
         self.counters.flush_all_caches()
@@ -203,11 +287,12 @@ class ClosureTimeSurvey:
         world: World,
         timestamp: Optional[Callable[[Any], float]] = None,
         cache_capacity: int = 4096,
+        name: Optional[str] = None,
     ) -> None:
         self.world = world
         self.timestamp = timestamp if timestamp is not None else edge_timestamp
         self.counters = DistributedCountingSet(
-            world, name=None, cache_capacity=cache_capacity
+            world, name=name, cache_capacity=cache_capacity
         )
 
     def callback(self, ctx: RankContext, tri: TriangleMetadata) -> None:
@@ -218,6 +303,38 @@ class ClosureTimeSurvey:
         open_bucket = log2_bucket(t2 - t1)
         close_bucket = log2_bucket(t3 - t1)
         self.counters.async_increment(ctx, (open_bucket, close_bucket))
+
+    def callback_batch(self, ctx: RankContext, batch: TriangleBatch) -> None:
+        timestamp = self.timestamp
+        # Sort and subtract per triangle in the stamps' own arithmetic —
+        # casting raw stamps to float64 first would lose sub-ULP resolution
+        # for integer timestamps beyond 2**53 (epoch nanoseconds) and
+        # diverge from the scalar callback's exact subtraction.  Only the
+        # bucketing is vectorized: log2_bucket rounds its argument to float
+        # exactly like the float64 cast of the *differences* does.
+        opens: List[Any] = []
+        closes: List[Any] = []
+        for meta_pq, meta_pr, meta_qr in zip(
+            batch.meta_pq, batch.meta_pr, batch.meta_qr
+        ):
+            t1, t2, t3 = sorted(
+                (timestamp(meta_pq), timestamp(meta_pr), timestamp(meta_qr))
+            )
+            opens.append(t2 - t1)
+            closes.append(t3 - t1)
+        if _np is not None:
+            items = list(
+                zip(
+                    log2_bucket_array(opens).tolist(),
+                    log2_bucket_array(closes).tolist(),
+                )
+            )
+        else:
+            items = [
+                (log2_bucket(dt_open), log2_bucket(dt_close))
+                for dt_open, dt_close in zip(opens, closes)
+            ]
+        self.counters.increment_run(ctx, items)
 
     def finalize(self) -> None:
         self.counters.flush_all_caches()
@@ -253,11 +370,12 @@ class DegreeTripleSurvey:
         world: World,
         degree_of: Optional[Callable[[Any], int]] = None,
         cache_capacity: int = 4096,
+        name: Optional[str] = None,
     ) -> None:
         self.world = world
         self.degree_of = degree_of if degree_of is not None else (lambda meta: int(meta))
         self.counters = DistributedCountingSet(
-            world, name=None, cache_capacity=cache_capacity
+            world, name=name, cache_capacity=cache_capacity
         )
 
     def callback(self, ctx: RankContext, tri: TriangleMetadata) -> None:
@@ -267,6 +385,26 @@ class DegreeTripleSurvey:
             log2_bucket(self.degree_of(tri.meta_r)),
         )
         self.counters.async_increment(ctx, triple)
+
+    def callback_batch(self, ctx: RankContext, batch: TriangleBatch) -> None:
+        degree_of = self.degree_of
+        d_p = [degree_of(meta) for meta in batch.meta_p]
+        d_q = [degree_of(meta) for meta in batch.meta_q]
+        d_r = [degree_of(meta) for meta in batch.meta_r]
+        if _np is not None:
+            items = list(
+                zip(
+                    log2_bucket_array(d_p).tolist(),
+                    log2_bucket_array(d_q).tolist(),
+                    log2_bucket_array(d_r).tolist(),
+                )
+            )
+        else:
+            items = [
+                (log2_bucket(a), log2_bucket(b), log2_bucket(c))
+                for a, b, c in zip(d_p, d_q, d_r)
+            ]
+        self.counters.increment_run(ctx, items)
 
     def finalize(self) -> None:
         self.counters.flush_all_caches()
@@ -284,10 +422,15 @@ class FqdnTripleSurvey:
     triangle's vertices.
     """
 
-    def __init__(self, world: World, cache_capacity: int = 4096) -> None:
+    def __init__(
+        self,
+        world: World,
+        cache_capacity: int = 4096,
+        name: Optional[str] = None,
+    ) -> None:
         self.world = world
         self.counters = DistributedCountingSet(
-            world, name=None, cache_capacity=cache_capacity
+            world, name=name, cache_capacity=cache_capacity
         )
 
     def callback(self, ctx: RankContext, tri: TriangleMetadata) -> None:
@@ -295,6 +438,14 @@ class FqdnTripleSurvey:
             return
         key = tuple(sorted((str(tri.meta_p), str(tri.meta_q), str(tri.meta_r))))
         self.counters.async_increment(ctx, key)
+
+    def callback_batch(self, ctx: RankContext, batch: TriangleBatch) -> None:
+        items: List[Tuple[str, str, str]] = []
+        for mp, mq, mr in zip(batch.meta_p, batch.meta_q, batch.meta_r):
+            if mp == mq or mq == mr or mp == mr:
+                continue
+            items.append(tuple(sorted((str(mp), str(mq), str(mr)))))
+        self.counters.increment_run(ctx, items)
 
     def finalize(self) -> None:
         self.counters.flush_all_caches()

@@ -50,6 +50,12 @@ __all__ = [
     "hash_batch",
     "binary_search_batch",
     "BATCH_KERNELS",
+    "RowAdjacency",
+    "RowBatchResult",
+    "merge_path_rows",
+    "hash_rows",
+    "binary_search_rows",
+    "ROW_KERNELS",
 ]
 
 #: One match: (index into the candidate list, index into the adjacency list).
@@ -396,4 +402,248 @@ BATCH_KERNELS = {
     "merge_path": merge_path_batch,
     "binary_search": binary_search_batch,
     "hash": hash_batch,
+}
+
+
+# ---------------------------------------------------------------------------
+# Row-batch kernels (columnar engine)
+# ---------------------------------------------------------------------------
+#
+# The batch kernels above intersect many segments against ONE shared
+# adjacency (all wedges targeting the same vertex q).  The columnar survey
+# engine coalesces one level higher — one RPC per (source rank, destination
+# rank) pair — so a single call must intersect segments against *different*
+# adjacency rows of one CSR.  The row kernels do that in one vectorized pass
+# using composite keys: a CSR whose rows are each sorted by target order-id
+# yields a globally sorted array under ``edge_row * order_count + tgt_id``,
+# so one ``searchsorted`` of per-candidate composite keys finds every match
+# against every row at once.  Per segment they produce exactly the matches
+# and comparison counts the scalar kernels would, like the batch kernels.
+
+
+class RowAdjacency:
+    """One rank's CSR target-id arrays packaged for the row kernels.
+
+    ``keys`` is the full edge-major target order-id array (each row's slice
+    sorted ascending), ``indptr`` the row offsets, ``order_count`` the number
+    of dense ``<+`` order ids (the composite-key stride).  ``composite`` —
+    ``row_of_edge * order_count + key`` — is built lazily and only when NumPy
+    is available; the scalar fallback path never needs it.
+    """
+
+    __slots__ = ("keys", "indptr", "order_count", "_composite")
+
+    def __init__(self, keys, indptr, order_count: int) -> None:
+        self.keys = keys
+        self.indptr = indptr
+        self.order_count = order_count
+        self._composite = None
+
+    def composite(self):
+        if self._composite is None:
+            indptr = _np.asarray(self.indptr, dtype=_np.int64)
+            lengths = indptr[1:] - indptr[:-1]
+            edge_rows = _np.repeat(
+                _np.arange(lengths.size, dtype=_np.int64), lengths
+            )
+            self._composite = edge_rows * _np.int64(self.order_count) + _np.asarray(
+                self.keys, dtype=_np.int64
+            )
+        return self._composite
+
+    def row_slice(self, row: int) -> Tuple[int, int]:
+        return int(self.indptr[row]), int(self.indptr[row + 1])
+
+
+class RowBatchResult:
+    """Matches plus the aggregate comparison count of one row-batch call.
+
+    ``seg``/``cand_pos``/``adj_pos`` are parallel index arrays (or lists in
+    the scalar fallback): match ``i`` is segment ``seg[i]``'s candidate at
+    *flat* position ``cand_pos[i]`` of the concatenated candidate array,
+    matching the adjacency entry at *global* edge position ``adj_pos[i]`` of
+    the :class:`RowAdjacency`.  Ascending segment order, ascending candidate
+    position within a segment — the scalar kernels' order.
+    """
+
+    __slots__ = ("seg", "cand_pos", "adj_pos", "comparisons")
+
+    def __init__(self, seg, cand_pos, adj_pos, comparisons: int) -> None:
+        self.seg = seg
+        self.cand_pos = cand_pos
+        self.adj_pos = adj_pos
+        self.comparisons = comparisons
+
+    def __len__(self) -> int:
+        return len(self.seg)
+
+
+def _rows_via_scalar(
+    kernel: Callable[..., IntersectionResult],
+    candidate_keys: Sequence[int],
+    offsets: Sequence[int],
+    seg_rows: Sequence[int],
+    adjacency: RowAdjacency,
+) -> RowBatchResult:
+    """Reference row-batch implementation: one scalar call per segment."""
+    _check_offsets(candidate_keys, offsets)
+    cand_list = (
+        candidate_keys.tolist()
+        if hasattr(candidate_keys, "tolist")
+        else list(candidate_keys)
+    )
+    keys = adjacency.keys
+    seg_out: List[int] = []
+    cand_out: List[int] = []
+    adj_out: List[int] = []
+    comparisons = 0
+    for seg in range(len(offsets) - 1):
+        lo, hi = int(offsets[seg]), int(offsets[seg + 1])
+        adj_lo, adj_hi = adjacency.row_slice(int(seg_rows[seg]))
+        adj_keys = keys[adj_lo:adj_hi]
+        if hasattr(adj_keys, "tolist"):
+            adj_keys = adj_keys.tolist()
+        result = kernel(cand_list[lo:hi], adj_keys, _identity, _identity)
+        comparisons += result.comparisons
+        for cand_idx, adj_idx in result.matches:
+            seg_out.append(seg)
+            cand_out.append(lo + cand_idx)
+            adj_out.append(adj_lo + adj_idx)
+    return RowBatchResult(seg_out, cand_out, adj_out, comparisons)
+
+
+def _row_matches(cand, offs, rows, adjacency: RowAdjacency):
+    """Shared composite-key match lookup of the vectorized row kernels.
+
+    Returns ``(seg_of_cand, pos, hits)``: per-candidate segment indices, the
+    searchsorted position of every candidate's composite key in the
+    adjacency's composite array, and the flat candidate positions that
+    matched (ascending — segment order, candidate order within a segment).
+    """
+    lengths = offs[1:] - offs[:-1]
+    seg_of_cand = _np.repeat(_np.arange(offs.size - 1, dtype=_np.int64), lengths)
+    composite = adjacency.composite()
+    cand_comp = rows[seg_of_cand] * _np.int64(adjacency.order_count) + cand
+    pos = _np.searchsorted(composite, cand_comp)
+    if composite.size:
+        clipped = _np.minimum(pos, composite.size - 1)
+        valid = (pos < composite.size) & (composite[clipped] == cand_comp)
+    else:
+        valid = _np.zeros(cand.size, dtype=bool)
+    return seg_of_cand, pos, _np.nonzero(valid)[0]
+
+
+def merge_path_rows(
+    candidate_keys: Sequence[int],
+    offsets: Sequence[int],
+    seg_rows: Sequence[int],
+    adjacency: RowAdjacency,
+) -> RowBatchResult:
+    """Intersect segment ``s`` against adjacency row ``seg_rows[s]``, merge cost.
+
+    Same contract as :func:`merge_path_batch` generalised to per-segment
+    adjacency rows: matches and the aggregate comparison count are exactly
+    what one :func:`merge_path_intersection` call per segment (against its
+    row slice) would produce.
+    """
+    if _np is None or len(candidate_keys) <= _SCALAR_BATCH_CUTOFF:
+        return _rows_via_scalar(
+            merge_path_intersection, candidate_keys, offsets, seg_rows, adjacency
+        )
+    cand = _np.asarray(candidate_keys, dtype=_np.int64)
+    offs = _np.asarray(offsets, dtype=_np.int64)
+    rows = _np.asarray(seg_rows, dtype=_np.int64)
+    _check_offsets(cand, offs)
+    indptr = _np.asarray(adjacency.indptr, dtype=_np.int64)
+    keys = _np.asarray(adjacency.keys, dtype=_np.int64)
+    stride = _np.int64(adjacency.order_count)
+    composite = adjacency.composite()
+    if cand.size == 0 or composite.size == 0:
+        # A merge against an empty side performs no comparisons.
+        empty = _np.empty(0, dtype=_np.int64)
+        return RowBatchResult(empty, empty, empty, 0)
+
+    n_seg = offs.size - 1
+    lengths = offs[1:] - offs[:-1]
+    adj_lo = indptr[rows]
+    adj_len = indptr[rows + 1] - adj_lo
+
+    seg_of_cand, pos, hits = _row_matches(cand, offs, rows, adjacency)
+    seg_hits = seg_of_cand[hits]
+    matches_per_seg = _np.bincount(seg_hits, minlength=n_seg)
+
+    # Comparison replay (the merge_path_batch closed form, per-row bounds).
+    nonempty = (lengths > 0) & (adj_len > 0)
+    last_key = cand[_np.where(lengths > 0, offs[1:] - 1, 0)]
+    adj_last = keys[_np.where(adj_len > 0, adj_lo + adj_len - 1, 0)]
+    last_comp = rows * stride + last_key
+    rank_pos = _np.searchsorted(composite, last_comp, side="left")
+    rank_of_last = rank_pos - adj_lo
+    rank_clipped = _np.minimum(rank_pos, composite.size - 1)
+    last_in_adj = (rank_of_last < adj_len) & (composite[rank_clipped] == last_comp)
+    consumed_cand_side = lengths + rank_of_last + last_in_adj
+
+    # Candidates <= the row's last adjacency key, counted per segment via the
+    # segment-composite trick (segments are concatenated in ascending order).
+    seg_comp = seg_of_cand * stride + cand
+    below = (
+        _np.searchsorted(
+            seg_comp, _np.arange(n_seg, dtype=_np.int64) * stride + adj_last, side="right"
+        )
+        - offs[:-1]
+    )
+    consumed_adj_side = adj_len + below
+
+    consumed = _np.where(
+        last_key < adj_last,
+        consumed_cand_side,
+        _np.where(last_key == adj_last, lengths + adj_len, consumed_adj_side),
+    )
+    per_segment = _np.where(nonempty, consumed - matches_per_seg, 0)
+    return RowBatchResult(seg_hits, hits, pos[hits], int(per_segment.sum()))
+
+
+def hash_rows(
+    candidate_keys: Sequence[int],
+    offsets: Sequence[int],
+    seg_rows: Sequence[int],
+    adjacency: RowAdjacency,
+) -> RowBatchResult:
+    """Row-batch counterpart of :func:`hash_intersection`.
+
+    The comparison count models one table build per segment over its row:
+    ``sum(row lengths) + len(candidate_keys)``.
+    """
+    if _np is None or len(candidate_keys) <= _SCALAR_BATCH_CUTOFF:
+        return _rows_via_scalar(
+            hash_intersection, candidate_keys, offsets, seg_rows, adjacency
+        )
+    cand = _np.asarray(candidate_keys, dtype=_np.int64)
+    offs = _np.asarray(offsets, dtype=_np.int64)
+    rows = _np.asarray(seg_rows, dtype=_np.int64)
+    _check_offsets(cand, offs)
+    indptr = _np.asarray(adjacency.indptr, dtype=_np.int64)
+    seg_of_cand, pos, hits = _row_matches(cand, offs, rows, adjacency)
+    adj_len = indptr[rows + 1] - indptr[rows]
+    comparisons = int(adj_len.sum()) + int(cand.size)
+    return RowBatchResult(seg_of_cand[hits], hits, pos[hits], comparisons)
+
+
+def binary_search_rows(
+    candidate_keys: Sequence[int],
+    offsets: Sequence[int],
+    seg_rows: Sequence[int],
+    adjacency: RowAdjacency,
+) -> RowBatchResult:
+    """Row-batch binary-search intersection (scalar loop, parity-exact)."""
+    return _rows_via_scalar(
+        binary_search_intersection, candidate_keys, offsets, seg_rows, adjacency
+    )
+
+
+#: Row-batch kernels keyed by the same names as :data:`INTERSECTION_KERNELS`.
+ROW_KERNELS = {
+    "merge_path": merge_path_rows,
+    "binary_search": binary_search_rows,
+    "hash": hash_rows,
 }

@@ -30,18 +30,30 @@ import time
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..graph.dodgr import DODGraph, entry_key
-from ..graph.metadata import TriangleMetadata
-from .intersection import BATCH_KERNELS, INTERSECTION_KERNELS
+from ..graph.metadata import TriangleBatch, TriangleMetadata
+from ..runtime.serialization import uvarint_size
+from .intersection import BATCH_KERNELS, INTERSECTION_KERNELS, ROW_KERNELS
 from .results import SurveyReport
 from .survey import (
     DEFAULT_CALLBACK_COMPUTE_UNITS,
     TriangleCallback,
     _candidate_key,
     _concat_segments,
+    _deliver_batch,
     _drive_batched_push,
+    _drive_columnar_push,
     _legacy_push_payload_overhead,
     _make_batched_intersect_handler,
+    _make_columnar_intersect_handler,
+    _resolve_engine,
+    _row_adjacency,
+    resolve_batch_callback,
 )
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the list fallback
+    _np = None
 
 __all__ = [
     "triangle_survey_push_pull",
@@ -64,6 +76,7 @@ def triangle_survey_push_pull(
     graph_name: Optional[str] = None,
     callback_compute_units: int = DEFAULT_CALLBACK_COMPUTE_UNITS,
     batched: bool = False,
+    engine: Optional[str] = None,
 ) -> SurveyReport:
     """Run the Push-Pull triangle survey over ``dodgr``.
 
@@ -99,12 +112,22 @@ def triangle_survey_push_pull(
         bound as RPC-sending callbacks (see
         :class:`~repro.runtime.world.BatchedCall`) — identical in practice
         unless a rank's proposal stream overflows a buffer mid-drive.
+    engine:
+        Explicit engine selector overriding ``batched`` (``"legacy"``,
+        ``"batched"``, ``"columnar"``).  The columnar engine additionally
+        vectorizes the push-phase driver, delivers triangles to reducers as
+        :class:`~repro.graph.metadata.TriangleBatch` columns, and coalesces
+        the pull phase into one RPC per (owner rank, requesting rank) pair —
+        each replaced ``Adj^m_+(q)`` delivery accounted at its exact legacy
+        size, so the Table 3/Table 4 columns stay byte-identical.
 
     The returned report carries the three-phase breakdown (dry run / push /
     pull) and the number of pulled adjacency lists used for Table 3.
     """
     world = dodgr.world
     nranks = world.nranks
+    engine = _resolve_engine(engine, batched)
+    batched = engine in ("batched", "columnar")
     intersect = INTERSECTION_KERNELS[kernel]
     per_triangle_compute = callback_compute_units if callback is not None else 0
     if reset_stats:
@@ -257,13 +280,92 @@ def triangle_survey_push_pull(
                 ),
             )
 
-    # Handler registration order is identical in both modes so that handler
+    def _pull_deliver_columnar_handler(ctx, owner_csr, q_rows) -> None:
+        """Pull-phase delivery, columnar: one RPC per (owner, requester) pair.
+
+        ``q_rows`` indexes every adjacency row this owner rank is delivering
+        to this requester, in the owner's legacy send order.  Each waiting
+        pivot's suffix becomes one segment of a single row-kernel call
+        against the owner's CSR rows, and the closing triangles are handed
+        to the reducer as one :class:`TriangleBatch`.
+        """
+        ctx.add_counter("vertices_pulled", len(q_rows))
+        csr = dodgr.csr(ctx)
+        targets = pivots_by_target[ctx.rank]
+        row_of = csr.row_of
+        rows: List[int] = []
+        starts: List[int] = []
+        ends: List[int] = []
+        seg_q_rows: List[int] = []
+        wedge_checks = 0
+        for q_row in q_rows.tolist():
+            q = owner_csr.row_vertices[q_row]
+            for p, q_index in targets.get(q, ()):
+                row = row_of(p)
+                if row is None:
+                    continue
+                lo, hi = csr.row_slice(row)
+                start = lo + q_index + 1
+                wedge_checks += hi - start
+                rows.append(row)
+                starts.append(start)
+                ends.append(hi)
+                seg_q_rows.append(q_row)
+        ctx.add_counter("wedge_checks", wedge_checks)
+        if not rows:
+            return
+        candidate_ids, offsets = _concat_segments(csr.tgt_ids, starts, ends)
+        adjacency = _row_adjacency(owner_csr, dodgr.order_count())
+        result = row_kernel(
+            candidate_ids, offsets, _np.asarray(seg_q_rows, dtype=_np.int64), adjacency
+        )
+        ctx.add_compute(int(result.comparisons))
+        matches = len(result)
+        if not matches:
+            return
+        ctx.add_counter("triangles_found", matches)
+        if callback is None:
+            return
+        ctx.add_compute(per_triangle_compute * matches)
+        starts_arr = _np.asarray(starts, dtype=_np.int64)
+        seg = result.seg if hasattr(result.seg, "tolist") else _np.asarray(result.seg)
+        cand_pos = (
+            result.cand_pos
+            if hasattr(result.cand_pos, "tolist")
+            else _np.asarray(result.cand_pos)
+        )
+        src_pos = (starts_arr[seg] + cand_pos - offsets[seg]).tolist()
+        seg_list = seg.tolist()
+        adj_pos = (
+            result.adj_pos.tolist()
+            if hasattr(result.adj_pos, "tolist")
+            else list(result.adj_pos)
+        )
+        entries = csr.entries
+        owner_entries = owner_csr.entries
+        builders = {
+            "p": lambda: [csr.row_vertices[rows[s]] for s in seg_list],
+            "meta_p": lambda: [csr.row_meta[rows[s]] for s in seg_list],
+            "q": lambda: [owner_csr.row_vertices[seg_q_rows[s]] for s in seg_list],
+            "meta_q": lambda: [owner_csr.row_meta[seg_q_rows[s]] for s in seg_list],
+            "meta_pq": lambda: [entries[starts[s] - 1][2] for s in seg_list],
+            "r": lambda: [entries[pos][0] for pos in src_pos],
+            "meta_pr": lambda: [entries[pos][2] for pos in src_pos],
+            "meta_r": lambda: [entries[pos][3] for pos in src_pos],
+            "meta_qr": lambda: [owner_entries[pos][2] for pos in adj_pos],
+        }
+        batch = TriangleBatch(len(src_pos), builders)
+        _deliver_batch(ctx, batch, callback, batch_callback)
+
+    # Handler registration order is identical in every mode so that handler
     # ids — and therefore the serialized size of every dry-run message and
-    # the accounted size of every push message — match the legacy run.
-    batch_kernel = BATCH_KERNELS[kernel] if batched else None
+    # the accounted size of every push/pull message — match the legacy run.
+    batch_kernel = BATCH_KERNELS[kernel] if engine == "batched" else None
+    row_kernel = ROW_KERNELS[kernel] if engine == "columnar" else None
+    batch_callback = resolve_batch_callback(callback) if engine == "columnar" else None
     h_propose = world.register_handler(_propose_handler)
     _h_advise = world.register_handler(_advise_push_handler)
-    if batched:
+    if engine == "batched":
         h_intersect = world.register_handler(
             _make_batched_intersect_handler(
                 dodgr, batch_kernel, callback, per_triangle_compute
@@ -273,6 +375,16 @@ def triangle_survey_push_pull(
         # Registered last: its id never crosses the accounted wire, so the
         # earlier ids (and every accounted legacy message size) still match
         # the legacy run exactly.
+        h_propose_batch = world.register_handler(_propose_batch_handler)
+    elif engine == "columnar":
+        h_intersect = world.register_handler(
+            _make_columnar_intersect_handler(
+                dodgr, row_kernel, callback, batch_callback, per_triangle_compute
+            )
+        )
+        # Occupies the legacy pull handler's registration slot, so the id
+        # every accounted pull message serializes is the legacy one.
+        h_pull_deliver = world.register_handler(_pull_deliver_columnar_handler)
         h_propose_batch = world.register_handler(_propose_batch_handler)
     else:
         h_intersect = world.register_handler(_intersect_handler)
@@ -341,7 +453,23 @@ def triangle_survey_push_pull(
     # Phase 2: Push phase (skip targets that will be pulled).
     # ------------------------------------------------------------------
     world.begin_phase(PUSH_PHASE)
-    if batched:
+    if engine == "columnar":
+        payload_overhead = _legacy_push_payload_overhead(h_intersect.handler_id)
+        order_ids = dodgr.order_ids()
+        for ctx in world.ranks:
+            allowed = push_targets[ctx.rank]
+            allowed_ids = _np.fromiter(
+                (order_ids[q] for q in allowed), dtype=_np.int64, count=len(allowed)
+            )
+            _drive_columnar_push(
+                ctx,
+                dodgr,
+                dodgr.csr(ctx),
+                h_intersect,
+                payload_overhead,
+                allowed_ids=allowed_ids,
+            )
+    elif engine == "batched":
         payload_overhead = _legacy_push_payload_overhead(h_intersect.handler_id)
         for ctx in world.ranks:
             _drive_batched_push(
@@ -377,19 +505,61 @@ def triangle_survey_push_pull(
     # Phase 3: Pull phase (owners broadcast adjacency lists, coalesced).
     # ------------------------------------------------------------------
     world.begin_phase(PULL_PHASE)
-    for ctx in world.ranks:
-        rank = ctx.rank
-        store = dodgr.local_store(ctx)
-        for q, requesters in pull_lists[rank].items():
-            record = store.get(q)
-            if record is None:
-                continue
-            meta_q = record["meta"]
-            # The pulled payload omits meta(r): the requesting rank stores
-            # meta(r) locally for every r in its pivots' adjacency lists.
-            payload = [(entry[0], entry[1], entry[2]) for entry in record["adj"]]
-            for source_rank in requesters:
-                ctx.async_call_sized(source_rank, h_pull_deliver, q, meta_q, payload)
+    if engine == "columnar":
+        # One coalesced RPC per (owner rank, requesting rank) pair carrying
+        # every pulled adjacency row, each replaced per-(q, requester)
+        # delivery accounted — in legacy send order — at the exact
+        # serialized size of the legacy message (same wire framing as the
+        # push accounting: outer pair + argument list + payload list).
+        pull_overhead = _legacy_push_payload_overhead(h_pull_deliver.handler_id)
+        for ctx in world.ranks:
+            rank = ctx.rank
+            csr = dodgr.csr(rank)
+            groups: Dict[int, Tuple[List[int], List[int]]] = {}
+            for q, requesters in pull_lists[rank].items():
+                row = csr.row_of(q)
+                if row is None:
+                    continue
+                lo, hi = csr.row_slice(row)
+                # The pulled payload omits meta(r): the requesting rank
+                # stores meta(r) locally for every r it may close with.
+                nbytes = (
+                    pull_overhead
+                    + csr.row_wire_sizes[row]
+                    + uvarint_size(hi - lo)
+                    + csr.cand_size_cumsum[hi]
+                    - csr.cand_size_cumsum[lo]
+                )
+                for source_rank in requesters:
+                    ctx.account_rpc(source_rank, nbytes)
+                    group = groups.get(source_rank)
+                    if group is None:
+                        groups[source_rank] = group = ([], [0])
+                    group[0].append(row)
+                    group[1][0] += nbytes
+            for source_rank, (q_row_list, (group_bytes,)) in groups.items():
+                ctx.async_call_batched(
+                    source_rank,
+                    h_pull_deliver,
+                    csr,
+                    _np.asarray(q_row_list, dtype=_np.int64),
+                    virtual_rpcs=len(q_row_list),
+                    virtual_bytes=group_bytes,
+                )
+    else:
+        for ctx in world.ranks:
+            rank = ctx.rank
+            store = dodgr.local_store(ctx)
+            for q, requesters in pull_lists[rank].items():
+                record = store.get(q)
+                if record is None:
+                    continue
+                meta_q = record["meta"]
+                # The pulled payload omits meta(r): the requesting rank stores
+                # meta(r) locally for every r in its pivots' adjacency lists.
+                payload = [(entry[0], entry[1], entry[2]) for entry in record["adj"]]
+                for source_rank in requesters:
+                    ctx.async_call_sized(source_rank, h_pull_deliver, q, meta_q, payload)
     world.barrier()
 
     host_seconds = time.perf_counter() - host_start

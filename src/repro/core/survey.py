@@ -48,9 +48,14 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..graph.degree import order_key
 from ..graph.dodgr import CSRAdjacency, DODGraph, entry_key
-from ..graph.metadata import TriangleMetadata
-from ..runtime.serialization import serialized_size, uvarint_size
-from .intersection import BATCH_KERNELS, INTERSECTION_KERNELS
+from ..graph.metadata import TriangleBatch, TriangleMetadata
+from ..runtime.serialization import serialized_size, uvarint_size, uvarint_size_array
+from .intersection import (
+    BATCH_KERNELS,
+    INTERSECTION_KERNELS,
+    ROW_KERNELS,
+    RowAdjacency,
+)
 from .results import SurveyReport
 
 try:
@@ -63,6 +68,8 @@ __all__ = [
     "TriangleCallback",
     "PUSH_PHASE",
     "DEFAULT_CALLBACK_COMPUTE_UNITS",
+    "SURVEY_ENGINES",
+    "resolve_batch_callback",
 ]
 
 #: Type of a survey callback.
@@ -83,6 +90,76 @@ DEFAULT_CALLBACK_COMPUTE_UNITS = 10
 def _candidate_key(candidate: tuple) -> tuple:
     """Sort key of a pushed candidate entry (r, d_r, meta_pr[, meta_r])."""
     return order_key(candidate[0], candidate[1])
+
+
+#: The three survey execution engines, in increasing order of aggregation:
+#: ``legacy`` sends and intersects one wedge at a time, ``batched`` (PR 1)
+#: coalesces pushes per (destination rank, target vertex), ``columnar``
+#: coalesces per (source rank, destination rank) pair and delivers triangles
+#: to reducers as column batches.
+SURVEY_ENGINES = ("legacy", "batched", "columnar")
+
+
+def _resolve_engine(engine: Optional[str], batched: bool) -> str:
+    """Normalise the ``engine``/``batched`` selector pair.
+
+    ``engine=None`` preserves the PR 1 API: ``batched=True`` selects the
+    batched engine, otherwise legacy.  The columnar engine needs NumPy for
+    its array drivers; without it the batched engine (whose kernels carry
+    their own scalar fallbacks) is the documented downgrade — results are
+    identical either way.
+    """
+    if engine is None:
+        engine = "batched" if batched else "legacy"
+    if engine not in SURVEY_ENGINES:
+        raise ValueError(f"unknown survey engine {engine!r}; known: {SURVEY_ENGINES}")
+    if engine == "columnar" and _np is None:  # pragma: no cover - no-NumPy env
+        engine = "batched"
+    return engine
+
+
+def resolve_batch_callback(callback: Optional["TriangleCallback"]):
+    """The batch counterpart of ``callback``, or None for scalar-only callbacks.
+
+    Two spellings engage columnar delivery: a ``callback_batch`` attribute on
+    the callable itself, or — the reducer convention of
+    :mod:`repro.core.callbacks` — passing a bound ``reducer.callback`` whose
+    owner also defines ``callback_batch``.  Anything else (plain lambdas,
+    wrapped callables) runs through the scalar fallback, one
+    :class:`~repro.graph.metadata.TriangleMetadata` at a time.
+
+    A subclass that overrides ``callback`` without overriding
+    ``callback_batch`` does NOT engage the inherited batch method: the two
+    entry points are a contract pair, and silently running the base class's
+    batch aggregation against a specialised scalar callback would change
+    results.  The walk below finds whichever of the pair is defined closest
+    to the instance's class; a scalar override at or below the batch
+    definition forces the scalar fallback.
+    """
+    if callback is None:
+        return None
+    batch = getattr(callback, "callback_batch", None)
+    if callable(batch):
+        return batch
+    owner = getattr(callback, "__self__", None)
+    if owner is not None and getattr(owner, "callback", None) == callback:
+        for klass in type(owner).__mro__:
+            if "callback_batch" in klass.__dict__:
+                batch = getattr(owner, "callback_batch", None)
+                return batch if callable(batch) else None
+            if "callback" in klass.__dict__:
+                return None
+    return None
+
+
+def _row_adjacency(csr: CSRAdjacency, order_count: int) -> RowAdjacency:
+    """The CSR's cached :class:`RowAdjacency` view for the row kernels."""
+    cached = csr.row_adj_cache
+    if cached is None:
+        indptr = csr.columns().indptr if _np is not None else csr.indptr
+        cached = RowAdjacency(csr.tgt_ids, indptr, order_count)
+        csr.row_adj_cache = cached
+    return cached
 
 
 # ---------------------------------------------------------------------------
@@ -251,6 +328,182 @@ def _drive_batched_push(
         )
 
 
+# ---------------------------------------------------------------------------
+# Columnar engine internals (shared with the Push-Pull driver)
+# ---------------------------------------------------------------------------
+
+
+def _columnar_push_batch(
+    src_csr: CSRAdjacency,
+    dest_csr: CSRAdjacency,
+    rows,
+    qpositions,
+    q_rows,
+    flat_src_pos,
+    result,
+) -> TriangleBatch:
+    """Wrap one columnar intersect result as a lazy :class:`TriangleBatch`.
+
+    Only the small per-match index lists are materialised eagerly; each
+    metadata column decodes from the CSR entry tuples on first read.
+    """
+    wedge = result.seg
+    src_pos = flat_src_pos[result.cand_pos]
+    if hasattr(wedge, "tolist"):
+        p_rows = rows[wedge].tolist()
+        q_pos = qpositions[wedge].tolist()
+        qrow_list = q_rows[wedge].tolist()
+        src_pos = src_pos.tolist()
+        adj_pos = result.adj_pos.tolist()
+    else:  # scalar row-kernel results carry plain lists (small-input cutoff)
+        p_rows = [rows[w] for w in wedge]
+        q_pos = [qpositions[w] for w in wedge]
+        qrow_list = [q_rows[w] for w in wedge]
+        src_pos = list(src_pos)
+        adj_pos = list(result.adj_pos)
+    src_entries = src_csr.entries
+    dest_entries = dest_csr.entries
+    builders = {
+        "p": lambda: [src_csr.row_vertices[row] for row in p_rows],
+        "meta_p": lambda: [src_csr.row_meta[row] for row in p_rows],
+        "q": lambda: [dest_csr.row_vertices[row] for row in qrow_list],
+        "meta_q": lambda: [dest_csr.row_meta[row] for row in qrow_list],
+        "meta_pq": lambda: [src_entries[pos][2] for pos in q_pos],
+        "r": lambda: [src_entries[pos][0] for pos in src_pos],
+        "meta_pr": lambda: [src_entries[pos][2] for pos in src_pos],
+        "meta_qr": lambda: [dest_entries[pos][2] for pos in adj_pos],
+        "meta_r": lambda: [dest_entries[pos][3] for pos in adj_pos],
+    }
+    return TriangleBatch(len(src_pos), builders)
+
+
+def _deliver_batch(ctx, batch, callback, batch_callback) -> None:
+    """Hand a triangle batch to the reducer: columnar when it can, scalar else."""
+    if batch_callback is not None:
+        batch_callback(ctx, batch)
+    else:
+        for tri in batch.triangles():
+            callback(ctx, tri)
+
+
+def _make_columnar_intersect_handler(
+    dodgr: DODGraph,
+    row_kernel,
+    callback: Optional["TriangleCallback"],
+    batch_callback,
+    per_triangle_compute: int,
+):
+    """Build the owner-side handler of one columnar candidate push.
+
+    The handler receives *every* wedge a source rank generated for targets
+    this rank owns — one RPC per (source, destination) pair — as two index
+    arrays into the source's :class:`CSRAdjacency`.  All candidate suffixes
+    are intersected against their respective ``Adj^m_+(q)`` rows in one
+    row-kernel call, and the resulting triangles are delivered to the
+    reducer as one :class:`~repro.graph.metadata.TriangleBatch`.
+    """
+
+    def _columnar_intersect_handler(ctx, src_csr: CSRAdjacency, rows, qpositions) -> None:
+        src_cols = src_csr.columns()
+        starts = qpositions + 1
+        ends = src_cols.indptr[rows + 1]
+        seg_lengths = ends - starts
+        total = int(seg_lengths.sum())
+        ctx.add_counter("wedge_checks", total)
+        dest_csr = dodgr.csr(ctx)
+        q_rows = dodgr.rows_by_order_id()[src_csr.tgt_ids[qpositions]]
+        offsets = _np.concatenate(([0], _np.cumsum(seg_lengths)))
+        flat_src_pos = _np.arange(total, dtype=_np.int64) + _np.repeat(
+            starts - offsets[:-1], seg_lengths
+        )
+        candidate_ids = src_csr.tgt_ids[flat_src_pos]
+        adjacency = _row_adjacency(dest_csr, dodgr.order_count())
+        result = row_kernel(candidate_ids, offsets, q_rows, adjacency)
+        ctx.add_compute(int(result.comparisons))
+        matches = len(result)
+        if not matches:
+            return
+        ctx.add_counter("triangles_found", matches)
+        if callback is None:
+            return
+        ctx.add_compute(per_triangle_compute * matches)
+        batch = _columnar_push_batch(
+            src_csr, dest_csr, rows, qpositions, q_rows, flat_src_pos, result
+        )
+        _deliver_batch(ctx, batch, callback, batch_callback)
+
+    return _columnar_intersect_handler
+
+
+def _drive_columnar_push(
+    ctx,
+    dodgr: DODGraph,
+    csr: CSRAdjacency,
+    handler,
+    payload_overhead: int,
+    allowed_ids=None,
+) -> None:
+    """Array-native driver: account and coalesce one rank's candidate pushes.
+
+    Builds the rank's full wedge stream — (pivot row, q position) pairs in
+    legacy iteration order — as index arrays, computes every replaced
+    message's exact serialized size columnar-wise, accounts the stream
+    through :meth:`~repro.runtime.world.RankContext.account_rpc_bulk` (same
+    counters and buffer flush boundaries as the per-wedge walk), and fires
+    one batched RPC per destination rank.  ``allowed_ids`` restricts targets
+    to the given dense order-ids (the Push-Pull push phase); ``None`` pushes
+    to every target.
+    """
+    cols = csr.columns()
+    indptr = cols.indptr
+    out_degree = indptr[1:] - indptr[:-1]
+    wedge_counts = _np.where(out_degree >= 2, out_degree - 1, 0)
+    total = int(wedge_counts.sum())
+    if total == 0:
+        return
+    rows = _np.repeat(_np.arange(csr.num_rows, dtype=_np.int64), wedge_counts)
+    qpositions = (
+        _np.arange(total, dtype=_np.int64)
+        - _np.repeat(_np.cumsum(wedge_counts) - wedge_counts, wedge_counts)
+        + _np.repeat(indptr[:-1], wedge_counts)
+    )
+    if allowed_ids is not None:
+        mask = _np.isin(csr.tgt_ids[qpositions], allowed_ids)
+        rows = rows[mask]
+        qpositions = qpositions[mask]
+        if rows.size == 0:
+            return
+    row_end = indptr[rows + 1]
+    dests = cols.tgt_owner[qpositions]
+    sizes = (
+        payload_overhead
+        + cols.row_wire[rows]
+        + cols.tgt_wire[qpositions]
+        + uvarint_size_array(row_end - 1 - qpositions)
+        + cols.cand_cumsum[row_end]
+        - cols.cand_cumsum[qpositions + 1]
+    )
+    ctx.account_rpc_bulk(dests, sizes)
+    order = _np.argsort(dests, kind="stable")
+    dests_sorted = dests[order]
+    unique_dests, group_starts = _np.unique(dests_sorted, return_index=True)
+    bounds = group_starts.tolist() + [dests_sorted.size]
+    rows_sorted = rows[order]
+    qpos_sorted = qpositions[order]
+    sizes_sorted = sizes[order]
+    for g, dest in enumerate(unique_dests.tolist()):
+        lo, hi = bounds[g], bounds[g + 1]
+        ctx.async_call_batched(
+            dest,
+            handler,
+            csr,
+            rows_sorted[lo:hi],
+            qpos_sorted[lo:hi],
+            virtual_rpcs=hi - lo,
+            virtual_bytes=int(sizes_sorted[lo:hi].sum()),
+        )
+
+
 def triangle_survey_push(
     dodgr: DODGraph,
     callback: Optional[TriangleCallback] = None,
@@ -260,6 +513,7 @@ def triangle_survey_push(
     phase_name: str = PUSH_PHASE,
     callback_compute_units: int = DEFAULT_CALLBACK_COMPUTE_UNITS,
     batched: bool = False,
+    engine: Optional[str] = None,
 ) -> SurveyReport:
     """Run the Push-Only triangle survey over ``dodgr``.
 
@@ -292,8 +546,19 @@ def triangle_survey_push(
         unless the callback itself sends RPCs, in which case only the
         flush-window split of follow-on messages may shift — see the module
         docstring), faster host wall-clock.
+    engine:
+        Explicit engine selector overriding ``batched``: ``"legacy"``,
+        ``"batched"`` or ``"columnar"``.  The columnar engine coalesces one
+        level above the batched engine — a single RPC per (source rank,
+        destination rank) pair, intersected in one row-kernel call — and
+        delivers triangles to the callback's ``callback_batch`` counterpart
+        (see :func:`resolve_batch_callback`) as
+        :class:`~repro.graph.metadata.TriangleBatch` columns; callbacks
+        without a batch counterpart run unchanged via the scalar fallback.
+        Same equivalence contract as the batched engine.
     """
     world = dodgr.world
+    engine = _resolve_engine(engine, batched)
     per_triangle_compute = callback_compute_units if callback is not None else 0
     if reset_stats:
         world.reset_stats()
@@ -341,10 +606,21 @@ def triangle_survey_push(
                     ),
                 )
 
-    if batched:
+    if engine == "batched":
         handler = world.register_handler(
             _make_batched_intersect_handler(
                 dodgr, BATCH_KERNELS[kernel], callback, per_triangle_compute
+            )
+        )
+        payload_overhead = _legacy_push_payload_overhead(handler.handler_id)
+    elif engine == "columnar":
+        handler = world.register_handler(
+            _make_columnar_intersect_handler(
+                dodgr,
+                ROW_KERNELS[kernel],
+                callback,
+                resolve_batch_callback(callback),
+                per_triangle_compute,
             )
         )
         payload_overhead = _legacy_push_payload_overhead(handler.handler_id)
@@ -353,13 +629,16 @@ def triangle_survey_push(
 
     # ------------------------------------------------------------------
     # Driver loop: every rank walks its local pivots and pushes suffixes —
-    # one coalesced RPC per (destination, q) group when batched, one RPC
-    # per wedge otherwise.
+    # one coalesced RPC per destination rank (columnar) or (destination, q)
+    # group (batched), one RPC per wedge otherwise.
     # ------------------------------------------------------------------
     host_start = time.perf_counter()
     world.begin_phase(phase_name)
     for ctx in world.ranks:
-        if batched:
+        if engine == "columnar":
+            _drive_columnar_push(ctx, dodgr, dodgr.csr(ctx), handler, payload_overhead)
+            continue
+        if engine == "batched":
             _drive_batched_push(ctx, dodgr.csr(ctx), handler, payload_overhead)
             continue
         store = dodgr.local_store(ctx)

@@ -30,6 +30,7 @@ from .io import (
     write_vertex_file,
 )
 from .metadata import (
+    TriangleBatch,
     TriangleMetadata,
     edge_timestamp,
     labeled_vertex_meta,
@@ -78,6 +79,7 @@ __all__ = [
     "community_host_graph",
     "reddit_like_temporal_graph",
     "fqdn_web_graph",
+    "TriangleBatch",
     "TriangleMetadata",
     "temporal_edge_meta",
     "edge_timestamp",

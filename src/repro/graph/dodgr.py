@@ -35,6 +35,7 @@ Two views of the same store coexist:
 
 from __future__ import annotations
 
+from types import SimpleNamespace
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from ..runtime.serialization import serialized_size
@@ -104,6 +105,9 @@ class CSRAdjacency:
         "tgt_owner",
         "tgt_wire_sizes",
         "cand_size_cumsum",
+        "row_order_ids",
+        "_columns",
+        "row_adj_cache",
     )
 
     def __init__(
@@ -125,10 +129,12 @@ class CSRAdjacency:
         tgt_owner: List[int] = []
         tgt_wire_sizes: List[int] = []
         cand_cumsum: List[int] = [0]
+        self.row_order_ids: List[int] = []
         running = 0
         all_int_targets = True
         for vertex, record in store.items():
             self.vertex_rows[vertex] = len(self.row_vertices)
+            self.row_order_ids.append(order_ids[vertex])
             self.row_vertices.append(vertex)
             self.row_meta.append(record["meta"])
             self.row_degree.append(record["degree"])
@@ -173,6 +179,30 @@ class CSRAdjacency:
             self.tgt_ids = _np.asarray(tgt_ids, dtype=_np.int64)
         else:
             self.tgt_ids = tgt_ids
+        self._columns = None
+        #: slot for the core engine's cached RowAdjacency view of this CSR
+        self.row_adj_cache = None
+
+    # ------------------------------------------------------------------
+    def columns(self) -> "SimpleNamespace":
+        """NumPy views of the accounting/driver columns (lazily built, cached).
+
+        The list attributes stay authoritative (and are what the per-wedge
+        paths index); the columnar driver reads these int64 array twins —
+        ``indptr``, ``tgt_owner``, ``row_wire``, ``tgt_wire``,
+        ``cand_cumsum``, ``row_order_ids`` — so per-wedge size/owner math
+        becomes array arithmetic.  Requires NumPy.
+        """
+        if self._columns is None:
+            self._columns = SimpleNamespace(
+                indptr=_np.asarray(self.indptr, dtype=_np.int64),
+                tgt_owner=_np.asarray(self.tgt_owner, dtype=_np.int64),
+                row_wire=_np.asarray(self.row_wire_sizes, dtype=_np.int64),
+                tgt_wire=_np.asarray(self.tgt_wire_sizes, dtype=_np.int64),
+                cand_cumsum=_np.asarray(self.cand_size_cumsum, dtype=_np.int64),
+                row_order_ids=_np.asarray(self.row_order_ids, dtype=_np.int64),
+            )
+        return self._columns
 
     # ------------------------------------------------------------------
     def row_of(self, vertex: Hashable) -> Optional[int]:
@@ -218,6 +248,7 @@ class DODGraph:
         #: lazily built derived views (cleared whenever records mutate)
         self._order_ids: Optional[Dict[Hashable, int]] = None
         self._csr: Dict[int, CSRAdjacency] = {}
+        self._rows_by_order_id = None
 
     # ------------------------------------------------------------------
     @property
@@ -434,6 +465,7 @@ class DODGraph:
     def _invalidate_derived(self) -> None:
         self._order_ids = None
         self._csr.clear()
+        self._rows_by_order_id = None
 
     def order_ids(self) -> Dict[Hashable, int]:
         """Dense integer ranks of every vertex in the global ``<+`` order.
@@ -454,6 +486,30 @@ class DODGraph:
             keyed.sort(key=lambda kv: kv[0])
             self._order_ids = {vertex: i for i, (_key, vertex) in enumerate(keyed)}
         return self._order_ids
+
+    def order_count(self) -> int:
+        """Number of dense ``<+`` order ids (the columnar composite-key stride)."""
+        return len(self.order_ids())
+
+    def rows_by_order_id(self):
+        """Order-id → owner-local CSR row index, as one global int64 array.
+
+        Every vertex is stored on exactly one rank, so a single array of
+        length :meth:`order_count` maps any target's dense ``<+`` id to its
+        row inside the *owning* rank's :class:`CSRAdjacency` — the lookup the
+        columnar intersect handler does per wedge without a dict probe.
+        Requires NumPy; built lazily over all ranks' CSR snapshots and
+        invalidated with them.
+        """
+        if self._rows_by_order_id is None:
+            out = _np.zeros(self.order_count(), dtype=_np.int64)
+            for rank in range(self.world.nranks):
+                snapshot = self.csr(rank)
+                if snapshot.num_rows:
+                    ids = _np.asarray(snapshot.row_order_ids, dtype=_np.int64)
+                    out[ids] = _np.arange(snapshot.num_rows, dtype=_np.int64)
+            self._rows_by_order_id = out
+        return self._rows_by_order_id
 
     def csr(self, rank_or_ctx: int | RankContext) -> CSRAdjacency:
         """The rank's :class:`CSRAdjacency` snapshot (lazily built, cached).
@@ -515,11 +571,21 @@ class DODGraph:
     def wedge_count(self) -> int:
         """|W+|: the number of wedge checks the push algorithm will generate.
 
-        Each pivot p contributes C(d+(p), 2) candidate checks (Section 4.3).
+        Each pivot p contributes C(d+(p), 2) candidate checks (Section 4.3);
+        summed as one array expression per rank when NumPy is available.
         """
         total = 0
         for rank in range(self.world.nranks):
-            for record in self.local_store(rank).values():
+            store = self.local_store(rank)
+            if _np is not None:
+                degrees = _np.fromiter(
+                    (len(record["adj"]) for record in store.values()),
+                    dtype=_np.int64,
+                    count=len(store),
+                )
+                total += int((degrees * (degrees - 1) // 2).sum())
+                continue
+            for record in store.values():
                 d_plus = len(record["adj"])
                 total += d_plus * (d_plus - 1) // 2
         return total

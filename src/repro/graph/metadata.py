@@ -24,6 +24,8 @@ from typing import Any, Tuple
 
 __all__ = [
     "TriangleMetadata",
+    "TriangleBatch",
+    "TRIANGLE_COLUMNS",
     "temporal_edge_meta",
     "labeled_vertex_meta",
     "edge_timestamp",
@@ -73,6 +75,102 @@ class TriangleMetadata:
             and self.meta_q != self.meta_r
             and self.meta_p != self.meta_r
         )
+
+
+#: Column names a :class:`TriangleBatch` can materialise, in the field order
+#: of :class:`TriangleMetadata`.
+TRIANGLE_COLUMNS = (
+    "p",
+    "q",
+    "r",
+    "meta_p",
+    "meta_q",
+    "meta_r",
+    "meta_pq",
+    "meta_pr",
+    "meta_qr",
+)
+
+
+class TriangleBatch:
+    """A columnar batch of triangles: one lazily-decoded list per column.
+
+    The columnar survey engine identifies many triangles per intersection
+    call but most reducers only touch a couple of the nine
+    :class:`TriangleMetadata` fields (a counting callback touches none).
+    Instead of materialising one metadata object per triangle, the engine
+    hands reducers a :class:`TriangleBatch` whose columns — ``p``, ``q``,
+    ``r`` and the six metadata columns — are *builder closures over the CSR
+    match arrays*: a column is decoded into a list (triangle ``i`` at index
+    ``i``) the first time it is read and cached, and unread columns cost
+    nothing.  Triangle order within a batch is the engine's match order,
+    which is also the order the scalar fallback invokes per-triangle
+    callbacks in, so batch reducers that apply their side effects in column
+    order are bit-identical to the scalar path.
+    """
+
+    __slots__ = ("_size", "_builders", "_columns")
+
+    def __init__(self, size: int, builders) -> None:
+        self._size = size
+        self._builders = builders
+        self._columns: dict = {}
+
+    def __len__(self) -> int:
+        return self._size
+
+    def column(self, name: str) -> list:
+        """The named column as a list of length ``len(self)`` (cached)."""
+        col = self._columns.get(name)
+        if col is None:
+            col = self._builders[name]()
+            self._columns[name] = col
+        return col
+
+    @property
+    def p(self) -> list:
+        return self.column("p")
+
+    @property
+    def q(self) -> list:
+        return self.column("q")
+
+    @property
+    def r(self) -> list:
+        return self.column("r")
+
+    @property
+    def meta_p(self) -> list:
+        return self.column("meta_p")
+
+    @property
+    def meta_q(self) -> list:
+        return self.column("meta_q")
+
+    @property
+    def meta_r(self) -> list:
+        return self.column("meta_r")
+
+    @property
+    def meta_pq(self) -> list:
+        return self.column("meta_pq")
+
+    @property
+    def meta_pr(self) -> list:
+        return self.column("meta_pr")
+
+    @property
+    def meta_qr(self) -> list:
+        return self.column("meta_qr")
+
+    def triangles(self):
+        """Row view: yield one :class:`TriangleMetadata` per triangle, in order.
+
+        The adapter the scalar fallback uses when a survey callback has no
+        batch counterpart; it materialises every column.
+        """
+        for fields in zip(*(self.column(name) for name in TRIANGLE_COLUMNS)):
+            yield TriangleMetadata(*fields)
 
 
 # ---------------------------------------------------------------------------

@@ -293,6 +293,82 @@ class BufferBank:
         if buf.append_virtual(nbytes):
             self._flush_buffer(buf)
 
+    def send_virtual_bulk(self, dests: Any, nbytes: Any) -> None:
+        """Account a whole stream of legacy-equivalent RPCs in one call.
+
+        ``dests``/``nbytes`` are parallel NumPy int arrays, one entry per
+        replaced legacy message, in the exact order the legacy driver would
+        have sent them.  Observable behaviour — every stats counter, buffer
+        occupancy, each buffer's flush boundaries and flushed sizes — is
+        identical to calling :meth:`send_virtual` once per entry: messages
+        destined for different buffers never interact, so replaying each
+        buffer's (order-preserved) subsequence reproduces the per-message
+        walk exactly, while the flush boundaries inside one buffer are found
+        with ``searchsorted`` over the running cumulative size instead of a
+        Python-level threshold check per message.
+        """
+        import numpy as np
+
+        n = int(len(nbytes))
+        if n == 0:
+            return
+        phase = self.stats.current
+        phase.rpcs_sent += n
+        local = dests == self.rank
+        if local.any():
+            phase.bytes_sent_local += int(nbytes[local].sum())
+            if local.all():
+                return
+            remote = ~local
+            dests = dests[remote]
+            nbytes = nbytes[remote]
+        phase.bytes_sent_remote += int(nbytes.sum())
+        if self.ranks_per_node > 1:
+            keys = dests // self.ranks_per_node
+        else:
+            keys = dests
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        sizes_sorted = nbytes[order]
+        unique_keys, group_starts = np.unique(keys_sorted, return_index=True)
+        bounds = group_starts.tolist() + [keys_sorted.size]
+        threshold = self.flush_threshold_bytes
+        for g, key in enumerate(unique_keys.tolist()):
+            buf = self._buffers.get(key)
+            if buf is None:
+                buf = MessageBuffer(self.rank, key, threshold)
+                self._buffers[key] = buf
+            sizes = sizes_sorted[bounds[g] : bounds[g + 1]]
+            csum = np.cumsum(sizes)
+            total = int(csum[-1])
+            if buf._pending_bytes + total < threshold:
+                buf._pending_bytes += total
+                continue
+            # First flush carries whatever the buffer already held (including
+            # queued deliverable messages) plus the virtual prefix.
+            first = int(np.searchsorted(csum, threshold - buf._pending_bytes))
+            flushed_to = int(csum[first])
+            flush_size = buf._pending_bytes + flushed_to
+            messages = buf._pending
+            buf._pending = []
+            buf._pending_bytes = 0
+            buf.flush_count += 1
+            phase.wire_messages += 1
+            phase.wire_bytes += flush_size + WIRE_ENVELOPE_BYTES
+            if messages:
+                self._deliver(messages)
+            # Later flushes are purely virtual: find each next boundary where
+            # the running occupancy crosses the threshold again.
+            while True:
+                nxt = int(np.searchsorted(csum, flushed_to + threshold))
+                if nxt >= csum.size:
+                    break
+                buf.flush_count += 1
+                phase.wire_messages += 1
+                phase.wire_bytes += int(csum[nxt]) - flushed_to + WIRE_ENVELOPE_BYTES
+                flushed_to = int(csum[nxt])
+            buf._pending_bytes = total - flushed_to
+
     # ------------------------------------------------------------------
     def _flush_buffer(self, buf: MessageBuffer) -> None:
         messages, nbytes = buf.drain()

@@ -37,6 +37,7 @@ __all__ = [
     "loads",
     "serialized_size",
     "uvarint_size",
+    "uvarint_size_array",
     "register_record",
     "registered_records",
     "clear_registry",
@@ -495,3 +496,25 @@ def uvarint_size(value: int) -> int:
         value >>= 7
         size += 1
     return size
+
+
+def uvarint_size_array(values: Any) -> Any:
+    """Vectorized :func:`uvarint_size` over an int array (requires NumPy).
+
+    ``uvarint_size_array(a)[i] == uvarint_size(int(a[i]))`` for every
+    non-negative int64 value; used by the columnar survey driver to compute
+    per-wedge framing bytes without a Python call per wedge.
+    """
+    import numpy as np
+
+    v = np.asarray(values, dtype=np.int64)
+    if v.size and int(v.min()) < 0:
+        raise SerializationError("uvarint cannot encode negative values")
+    size = np.ones(v.shape, dtype=np.int64)
+    rest = v >> 7
+    while True:
+        more = rest > 0
+        if not more.any():
+            return size
+        size += more
+        rest = rest >> 7

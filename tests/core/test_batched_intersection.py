@@ -143,3 +143,106 @@ class TestPythonFallback:
             fallback = _batch_via_scalar(scalar, flat, offsets, adjacency)
             assert list(vectorized) == list(fallback)
             assert vectorized.comparisons == fallback.comparisons
+
+
+# ---------------------------------------------------------------------------
+# Row-batch kernels (columnar engine)
+# ---------------------------------------------------------------------------
+
+from repro.core.intersection import (  # noqa: E402 - grouped with their tests
+    ROW_KERNELS,
+    RowAdjacency,
+    _rows_via_scalar,
+)
+
+ROW_KERNEL_PAIRS = [
+    (name, INTERSECTION_KERNELS[name], ROW_KERNELS[name])
+    for name in ("merge_path", "hash", "binary_search")
+]
+
+
+#: Key universe of the row-kernel tests.  The composite-key stride
+#: (order_count) must bound *every* id — candidates and adjacency alike —
+#: exactly as the dense ``<+`` order ids do in production.
+ROW_KEY_SPACE = 60
+
+
+def build_row_adjacency(rows):
+    """RowAdjacency over explicit per-row sorted key lists."""
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover
+        numpy = None
+    keys, indptr = flatten(rows)
+    if numpy is not None:
+        keys = numpy.asarray(keys, dtype=numpy.int64)
+        indptr = numpy.asarray(indptr, dtype=numpy.int64)
+    return RowAdjacency(keys, indptr, ROW_KEY_SPACE)
+
+
+def row_scalar_reference(scalar_kernel, segments, seg_rows, rows):
+    """One scalar call per segment against its own row: the row contract."""
+    flat, offsets = flatten(segments)
+    matches, comparisons = [], 0
+    row_starts = [0]
+    for row in rows:
+        row_starts.append(row_starts[-1] + len(row))
+    for seg_index, segment in enumerate(segments):
+        row = seg_rows[seg_index]
+        result = scalar_kernel(segment, rows[row], identity, identity)
+        comparisons += result.comparisons
+        for i, j in result.matches:
+            matches.append((seg_index, offsets[seg_index] + i, row_starts[row] + j))
+    return matches, comparisons
+
+
+@pytest.mark.parametrize("name,scalar,row_kernel", ROW_KERNEL_PAIRS, ids=KERNEL_IDS)
+class TestRowKernelParity:
+    @pytest.fixture(autouse=True, params=["production-cutoff", "force-vectorized"])
+    def _batch_cutoff(self, request, monkeypatch):
+        if request.param == "force-vectorized":
+            monkeypatch.setattr("repro.core.intersection._SCALAR_BATCH_CUTOFF", -1)
+
+    def assert_parity(self, scalar, row_kernel, segments, seg_rows, rows):
+        flat, offsets = flatten(segments)
+        adjacency = build_row_adjacency(rows)
+        expected_matches, expected_comparisons = row_scalar_reference(
+            scalar, segments, seg_rows, rows
+        )
+        result = row_kernel(flat, offsets, seg_rows, adjacency)
+        got = list(
+            zip(
+                (int(s) for s in result.seg),
+                (int(c) for c in result.cand_pos),
+                (int(a) for a in result.adj_pos),
+            )
+        )
+        assert got == expected_matches
+        assert int(result.comparisons) == expected_comparisons
+
+    def test_basic_multi_row(self, name, scalar, row_kernel):
+        rows = [[2, 3, 4, 7, 10], [1, 9], []]
+        segments = [[1, 3, 5, 7, 9], [2, 3, 4], [1, 9], [4]]
+        self.assert_parity(scalar, row_kernel, segments, [0, 0, 1, 2], rows)
+
+    def test_same_row_many_segments(self, name, scalar, row_kernel):
+        rows = [[5, 9, 11]]
+        segments = [[2, 5, 9], [9, 11], [1]]
+        self.assert_parity(scalar, row_kernel, segments, [0, 0, 0], rows)
+
+    def test_empty_rows_and_segments(self, name, scalar, row_kernel):
+        self.assert_parity(scalar, row_kernel, [[], [3]], [0, 1], [[], [3]])
+        self.assert_parity(scalar, row_kernel, [], [], [[1, 2]])
+
+    def test_random_fuzz(self, name, scalar, row_kernel):
+        rng = random.Random(4321)
+        for _ in range(150):
+            nrows = rng.randint(1, 6)
+            rows = [
+                sorted(rng.sample(range(60), rng.randint(0, 15))) for _ in range(nrows)
+            ]
+            segments, seg_rows = [], []
+            for _ in range(rng.randint(0, 8)):
+                segments.append(sorted(rng.sample(range(60), rng.randint(0, 12))))
+                seg_rows.append(rng.randrange(nrows))
+            self.assert_parity(scalar, row_kernel, segments, seg_rows, rows)

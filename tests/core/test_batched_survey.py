@@ -1,11 +1,14 @@
-"""End-to-end parity: batched surveys vs the legacy per-wedge path.
+"""End-to-end parity: coalesced surveys vs the legacy per-wedge path.
 
 The batched engine's contract (ISSUE 1) is *observational equivalence*: on
 the same graph and world shape it must produce identical triangle counts,
 identical callback invocations, and identical communication/compute
 accounting — per rank and per phase — while only the host wall-clock
-changes.  These tests pin that contract on both survey algorithms, all three
-kernels, and the NetworkX oracle.
+changes.  The columnar engine (ISSUE 3) inherits the same contract one
+aggregation level up (one RPC per rank pair, coalesced pull deliveries,
+TriangleBatch reducer delivery), so every parity case here runs against
+both engines, on both survey algorithms, all three kernels, and the
+NetworkX oracle.
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ def path_graph(n: int) -> GeneratedGraph:
     return GeneratedGraph(name=f"path_{n}", edges=edges)
 
 
-def run_survey(dataset, nranks, algorithm, batched, kernel="merge_path"):
+def run_survey(dataset, nranks, algorithm, engine, kernel="merge_path"):
     """Fresh world + DODGr + survey; returns (report, callbacks, stats)."""
     world = World(nranks)
     graph = dataset.to_distributed(world)
@@ -44,10 +47,10 @@ def run_survey(dataset, nranks, algorithm, batched, kernel="merge_path"):
         )
 
     if algorithm == "push":
-        report = triangle_survey_push(dodgr, callback, kernel=kernel, batched=batched)
+        report = triangle_survey_push(dodgr, callback, kernel=kernel, engine=engine)
     else:
         report = triangle_survey_push_pull(
-            dodgr, callback, kernel=kernel, batched=batched
+            dodgr, callback, kernel=kernel, engine=engine
         )
     return report, sorted(invocations), stats_snapshot(world, report.phases)
 
@@ -74,48 +77,50 @@ def stats_snapshot(world, phases):
     return snapshot
 
 
+@pytest.mark.parametrize("engine", ["batched", "columnar"])
 @pytest.mark.parametrize("algorithm", ["push", "push_pull"])
-class TestBatchedMatchesLegacy:
-    def assert_equivalent(self, dataset, nranks, algorithm, kernel="merge_path"):
-        legacy = run_survey(dataset, nranks, algorithm, batched=False, kernel=kernel)
-        batched = run_survey(dataset, nranks, algorithm, batched=True, kernel=kernel)
-        assert batched[0].triangles == legacy[0].triangles
-        assert batched[1] == legacy[1], "callback invocations differ"
-        assert batched[2] == legacy[2], "per-rank per-phase accounting differs"
-        assert batched[0].communication_bytes == legacy[0].communication_bytes
-        assert batched[0].wire_messages == legacy[0].wire_messages
-        assert batched[0].wedge_checks == legacy[0].wedge_checks
-        assert batched[0].simulated_seconds == pytest.approx(legacy[0].simulated_seconds)
+class TestCoalescedMatchesLegacy:
+    def assert_equivalent(self, dataset, nranks, algorithm, engine, kernel="merge_path"):
+        legacy = run_survey(dataset, nranks, algorithm, engine="legacy", kernel=kernel)
+        coalesced = run_survey(dataset, nranks, algorithm, engine=engine, kernel=kernel)
+        assert coalesced[0].triangles == legacy[0].triangles
+        assert coalesced[1] == legacy[1], "callback invocations differ"
+        assert coalesced[2] == legacy[2], "per-rank per-phase accounting differs"
+        assert coalesced[0].communication_bytes == legacy[0].communication_bytes
+        assert coalesced[0].wire_messages == legacy[0].wire_messages
+        assert coalesced[0].wedge_checks == legacy[0].wedge_checks
+        assert coalesced[0].simulated_seconds == pytest.approx(legacy[0].simulated_seconds)
 
-    def test_rmat_fixture(self, small_rmat, algorithm):
-        self.assert_equivalent(small_rmat, 4, algorithm)
+    def test_rmat_fixture(self, small_rmat, algorithm, engine):
+        self.assert_equivalent(small_rmat, 4, algorithm, engine)
 
-    def test_erdos_renyi_fixture(self, small_er, algorithm):
-        self.assert_equivalent(small_er, 4, algorithm)
+    def test_erdos_renyi_fixture(self, small_er, algorithm, engine):
+        self.assert_equivalent(small_er, 4, algorithm, engine)
 
-    def test_single_rank_world(self, small_er, algorithm):
-        self.assert_equivalent(small_er, 1, algorithm)
+    def test_single_rank_world(self, small_er, algorithm, engine):
+        self.assert_equivalent(small_er, 1, algorithm, engine)
 
-    def test_many_ranks(self, small_rmat, algorithm):
-        self.assert_equivalent(small_rmat, 13, algorithm)
+    def test_many_ranks(self, small_rmat, algorithm, engine):
+        self.assert_equivalent(small_rmat, 13, algorithm, engine)
 
     @pytest.mark.parametrize("kernel", ["hash", "binary_search"])
-    def test_alternate_kernels(self, small_er, algorithm, kernel):
-        self.assert_equivalent(small_er, 4, algorithm, kernel=kernel)
+    def test_alternate_kernels(self, small_er, algorithm, engine, kernel):
+        self.assert_equivalent(small_er, 4, algorithm, engine, kernel=kernel)
 
-    def test_triangle_free_graph(self, algorithm):
+    def test_triangle_free_graph(self, algorithm, engine):
         path = path_graph(30)
-        self.assert_equivalent(path, 4, algorithm)
-        report, invocations, _ = run_survey(path, 4, algorithm, batched=True)
+        self.assert_equivalent(path, 4, algorithm, engine)
+        report, invocations, _ = run_survey(path, 4, algorithm, engine=engine)
         assert report.triangles == 0
         assert invocations == []
 
 
 class TestBatchedAgainstOracle:
+    @pytest.mark.parametrize("engine", ["batched", "columnar"])
     @pytest.mark.parametrize("nranks", [1, 4, 8])
-    def test_push_matches_networkx(self, small_rmat, nranks):
+    def test_push_matches_networkx(self, small_rmat, nranks, engine):
         expected = triangle_count_nx((u, v) for u, v, _ in small_rmat.edges)
-        report, _, _ = run_survey(small_rmat, nranks, "push", batched=True)
+        report, _, _ = run_survey(small_rmat, nranks, "push", engine=engine)
         assert report.triangles == expected
 
     def test_dispatcher_batched_matches_networkx(self, small_er):
@@ -126,13 +131,14 @@ class TestBatchedAgainstOracle:
         assert report.triangles == expected
 
     def test_batched_runs_reuse_same_dodgr(self, small_er):
-        # The CSR snapshot is cached on the DODGr; repeated batched surveys
-        # (and interleaved legacy ones) over the same structure must agree.
+        # The CSR snapshot is cached on the DODGr; repeated surveys on any
+        # engine (and interleaved legacy ones) over the same structure must
+        # agree.
         expected = triangle_count_nx((u, v) for u, v, _ in small_er.edges)
         world = World(4)
         dodgr = DODGraph.build(small_er.to_distributed(world), mode="bulk")
-        for batched in (True, False, True):
-            report = triangle_survey_push(dodgr, batched=batched)
+        for engine in ("batched", "legacy", "columnar", "batched", "columnar"):
+            report = triangle_survey_push(dodgr, engine=engine)
             assert report.triangles == expected
 
 
@@ -148,7 +154,7 @@ class TestRpcSendingCallbacks:
     envelope component of ``wire_bytes``) may differ.
     """
 
-    def run_with_forwarding_callback(self, dataset, batched):
+    def run_with_forwarding_callback(self, dataset, engine):
         from repro.runtime.message_buffer import WIRE_ENVELOPE_BYTES
 
         world = World(4, flush_threshold_bytes=256)
@@ -163,7 +169,7 @@ class TestRpcSendingCallbacks:
         def callback(ctx, tri):
             ctx.async_call(ctx.owner_of(tri.r), handle, tri.r)
 
-        report = triangle_survey_push(dodgr, callback, batched=batched)
+        report = triangle_survey_push(dodgr, callback, engine=engine)
         total = world.stats.total()
         invariants = (
             report.triangles,
@@ -179,10 +185,11 @@ class TestRpcSendingCallbacks:
         )
         return invariants
 
-    def test_all_totals_match_even_when_callback_sends(self, small_er):
-        legacy = self.run_with_forwarding_callback(small_er, batched=False)
-        batched = self.run_with_forwarding_callback(small_er, batched=True)
-        assert batched == legacy
+    @pytest.mark.parametrize("engine", ["batched", "columnar"])
+    def test_all_totals_match_even_when_callback_sends(self, small_er, engine):
+        legacy = self.run_with_forwarding_callback(small_er, engine="legacy")
+        coalesced = self.run_with_forwarding_callback(small_er, engine=engine)
+        assert coalesced == legacy
 
 
 def test_path_graph_helper():

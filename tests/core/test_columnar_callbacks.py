@@ -1,0 +1,354 @@
+"""Golden parity: every reducer's ``callback_batch`` vs its scalar ``callback``.
+
+The columnar engine's reducer contract (ISSUE 3) is that batch delivery is a
+*bit-identical* drop-in for scalar delivery: running a survey with the
+reducer's ``callback_batch`` engaged must produce the same reducer output
+AND the same per-rank, per-phase communication/compute counters as running
+the very same engine with the scalar callback (batch hidden behind a
+wrapper).  That includes the counting-set cache-eviction paths — batch
+reducers must apply increments in scalar invocation order so evictions fire
+at the same triangle boundaries and the increment message stream is
+byte-identical.
+
+Scalar-vs-batch runs share one engine (columnar) so everything is pinned
+exactly; a third run on the legacy engine pins reducer *outputs* across
+engines (legacy byte accounting parity is covered by
+``test_batched_survey.py``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.degree_triples import decorate_with_degrees
+from repro.core.callbacks import (
+    ClosureTimeSurvey,
+    DegreeTripleSurvey,
+    EdgeSupportCounter,
+    FqdnTripleSurvey,
+    LocalTriangleCounter,
+    MaxEdgeLabelDistribution,
+    TriangleCounter,
+    log2_bucket,
+    log2_bucket_array,
+)
+from repro.core.push_pull import triangle_survey_push_pull
+from repro.core.survey import resolve_batch_callback, triangle_survey_push
+from repro.graph.dodgr import DODGraph
+from repro.graph.generators import GeneratedGraph, chung_lu_power_law, rmat
+from repro.graph.metadata import TriangleBatch
+from repro.runtime.world import World
+
+#: Small enough to force mid-survey cache evictions on every fixture.
+EVICTING_CACHE = 4
+NRANKS = 6
+
+
+@pytest.fixture(scope="module")
+def rmat_graph():
+    return rmat(7, edge_factor=8, seed=42)
+
+
+@pytest.fixture(scope="module")
+def chung_lu_graph():
+    """Chung-Lu input decorated with per-edge timestamps + vertex labels.
+
+    The generator itself carries one shared boolean edge meta; the survey
+    contract cares about *metadata-bearing* triangles, so rebuild the edge
+    list with a deterministic timestamp per edge and a small label alphabet
+    per vertex (shared labels exercise the distinct-metadata filters).
+    """
+    base = chung_lu_power_law(220, average_degree=10.0, seed=11)
+    edges = [
+        (u, v, float((37 * i) % 4096 + 1)) for i, (u, v, _meta) in enumerate(base.edges)
+    ]
+    vertices = {endpoint for u, v, _meta in edges for endpoint in (u, v)}
+    vertex_meta = {v: f"label_{v % 12}" for v in vertices}
+    return GeneratedGraph(name="chung_lu_meta", edges=edges, vertex_meta=vertex_meta)
+
+
+GRAPHS = ["rmat", "chung_lu"]
+
+#: reducer name -> (factory(world), needs degree decoration)
+REDUCERS = {
+    "triangle_counter": (lambda world: TriangleCounter(world), False),
+    "local_counter": (
+        lambda world: LocalTriangleCounter(
+            world, cache_capacity=EVICTING_CACHE, name="reducer"
+        ),
+        False,
+    ),
+    "edge_support": (
+        lambda world: EdgeSupportCounter(
+            world, cache_capacity=EVICTING_CACHE, name="reducer"
+        ),
+        False,
+    ),
+    "max_edge_label": (
+        lambda world: MaxEdgeLabelDistribution(
+            world, cache_capacity=EVICTING_CACHE, name="reducer"
+        ),
+        False,
+    ),
+    "closure_time": (
+        lambda world: ClosureTimeSurvey(
+            world, cache_capacity=EVICTING_CACHE, name="reducer"
+        ),
+        False,
+    ),
+    "degree_triple": (
+        lambda world: DegreeTripleSurvey(
+            world, cache_capacity=EVICTING_CACHE, name="reducer"
+        ),
+        True,
+    ),
+    "fqdn_triple": (
+        lambda world: FqdnTripleSurvey(
+            world, cache_capacity=EVICTING_CACHE, name="reducer"
+        ),
+        False,
+    ),
+}
+
+
+def stats_snapshot(world, phases):
+    snapshot = {}
+    for name in phases:
+        for rank_stats in world.stats.ranks:
+            phase = rank_stats.phases.get(name)
+            if phase is None:
+                continue
+            snapshot[(name, rank_stats.rank)] = (
+                phase.bytes_sent_remote,
+                phase.bytes_sent_local,
+                phase.rpcs_sent,
+                phase.rpcs_executed,
+                phase.wire_messages,
+                phase.wire_bytes,
+                phase.bytes_received,
+                phase.compute_units,
+                dict(phase.app_counters),
+            )
+    return snapshot
+
+
+def run_survey(dataset, reducer_name, algorithm, engine, hide_batch):
+    world = World(NRANKS)
+    factory, decorate = REDUCERS[reducer_name]
+    graph = dataset.to_distributed(world)
+    if decorate:
+        graph = decorate_with_degrees(graph)
+    dodgr = DODGraph.build(graph, mode="bulk")
+    reducer = factory(world)
+    if hide_batch:
+        # Wrapping hides callback_batch from resolve_batch_callback: the
+        # columnar engine takes its scalar fallback — the parity oracle.
+        callback = lambda ctx, tri: reducer.callback(ctx, tri)  # noqa: E731
+        assert resolve_batch_callback(callback) is None
+    else:
+        callback = reducer.callback
+    survey = triangle_survey_push if algorithm == "push" else triangle_survey_push_pull
+    report = survey(dodgr, callback, engine=engine)
+    if hasattr(reducer, "finalize"):
+        reducer.finalize()
+    else:
+        world.barrier()
+    return report, reducer.result(), stats_snapshot(world, report.phases)
+
+
+@pytest.mark.parametrize("graph_name", GRAPHS)
+@pytest.mark.parametrize("algorithm", ["push", "push_pull"])
+@pytest.mark.parametrize("reducer_name", sorted(REDUCERS))
+class TestScalarVsBatch:
+    def test_batch_is_bit_identical_to_scalar(
+        self, reducer_name, algorithm, graph_name, rmat_graph, chung_lu_graph
+    ):
+        dataset = rmat_graph if graph_name == "rmat" else chung_lu_graph
+        scalar = run_survey(dataset, reducer_name, algorithm, "columnar", hide_batch=True)
+        batch = run_survey(dataset, reducer_name, algorithm, "columnar", hide_batch=False)
+        assert batch[0].triangles == scalar[0].triangles
+        assert batch[1] == scalar[1], "reducer outputs differ"
+        assert batch[2] == scalar[2], "per-rank per-phase accounting differs"
+        assert batch[0].communication_bytes == scalar[0].communication_bytes
+        assert batch[0].wire_messages == scalar[0].wire_messages
+
+    def test_batch_output_matches_legacy_engine(
+        self, reducer_name, algorithm, graph_name, rmat_graph, chung_lu_graph
+    ):
+        dataset = rmat_graph if graph_name == "rmat" else chung_lu_graph
+        legacy = run_survey(dataset, reducer_name, algorithm, "legacy", hide_batch=True)
+        batch = run_survey(dataset, reducer_name, algorithm, "columnar", hide_batch=False)
+        assert batch[0].triangles == legacy[0].triangles
+        assert batch[1] == legacy[1], "reducer outputs differ from the legacy engine"
+
+
+class TestCacheEvictionPaths:
+    def test_evictions_fire_during_survey(self, rmat_graph):
+        """The golden fixtures genuinely exercise the eviction branch."""
+        world = World(NRANKS)
+        dodgr = DODGraph.build(rmat_graph.to_distributed(world), mode="bulk")
+        reducer = LocalTriangleCounter(world, cache_capacity=EVICTING_CACHE, name="r")
+        flushes = []
+        original = reducer.counts.flush_cache
+
+        def spy(ctx):
+            flushes.append(ctx.rank)
+            original(ctx)
+
+        reducer.counts.flush_cache = spy
+        triangle_survey_push(dodgr, reducer.callback, engine="columnar")
+        assert flushes, "cache never filled: raise the fixture size or lower capacity"
+
+
+class TestBatchResolution:
+    def test_bound_reducer_callback_resolves(self):
+        world = World(2)
+        reducer = TriangleCounter(world)
+        assert resolve_batch_callback(reducer.callback) == reducer.callback_batch
+
+    def test_plain_function_with_attribute_resolves(self):
+        def callback(ctx, tri):
+            pass
+
+        def callback_batch(ctx, batch):
+            pass
+
+        callback.callback_batch = callback_batch
+        assert resolve_batch_callback(callback) is callback_batch
+
+    def test_plain_function_without_attribute_is_scalar(self):
+        assert resolve_batch_callback(lambda ctx, tri: None) is None
+        assert resolve_batch_callback(None) is None
+
+    def test_other_bound_methods_do_not_resolve(self):
+        world = World(2)
+        reducer = LocalTriangleCounter(world, name="r")
+        # finalize is a bound method of an object that has callback_batch,
+        # but it is not the reducer's callback — must not engage batching.
+        assert resolve_batch_callback(reducer.finalize) is None
+
+    def test_scalar_override_disables_inherited_batch(self):
+        """A subclass overriding only ``callback`` must NOT inherit batching.
+
+        The scalar/batch entry points are a contract pair; running the base
+        class's batch aggregation against a specialised scalar callback
+        would silently change results on the columnar engine.
+        """
+
+        class FilteredCounter(TriangleCounter):
+            def callback(self, ctx, tri):
+                if tri.p == 0 or tri.q == 0 or tri.r == 0:
+                    super().callback(ctx, tri)
+
+        world = World(2)
+        filtered = FilteredCounter(world)
+        assert resolve_batch_callback(filtered.callback) is None
+
+        class FilteredCounterWithBatch(FilteredCounter):
+            def callback_batch(self, ctx, batch):
+                for tri in batch.triangles():
+                    self.callback(ctx, tri)
+
+        paired = FilteredCounterWithBatch(world)
+        assert (
+            resolve_batch_callback(paired.callback) == paired.callback_batch
+        )
+
+    def test_scalar_override_runs_identically_on_columnar(self, rmat_graph):
+        class FilteredCounter(TriangleCounter):
+            def callback(self, ctx, tri):
+                if tri.p % 3 == 0:
+                    super().callback(ctx, tri)
+
+        results = {}
+        for engine in ("legacy", "columnar"):
+            world = World(NRANKS)
+            dodgr = DODGraph.build(rmat_graph.to_distributed(world), mode="bulk")
+            reducer = FilteredCounter(world)
+            triangle_survey_push(dodgr, reducer.callback, engine=engine)
+            results[engine] = reducer.result()
+        assert results["columnar"] == results["legacy"]
+        assert results["legacy"] > 0
+
+
+class TestTriangleBatch:
+    def test_columns_are_lazy_and_cached(self):
+        built = []
+
+        def make(name, values):
+            def build():
+                built.append(name)
+                return values
+
+            return build
+
+        batch = TriangleBatch(2, {"p": make("p", [1, 2]), "q": make("q", [3, 4])})
+        assert len(batch) == 2
+        assert built == []
+        assert batch.p == [1, 2]
+        assert batch.p == [1, 2]
+        assert built == ["p"]
+        assert batch.q == [3, 4]
+        assert built == ["p", "q"]
+
+    def test_triangles_adapter_round_trips(self):
+        columns = {
+            "p": [0, 1],
+            "q": [2, 3],
+            "r": [4, 5],
+            "meta_p": ["a", "b"],
+            "meta_q": ["c", "d"],
+            "meta_r": ["e", "f"],
+            "meta_pq": [10, 11],
+            "meta_pr": [12, 13],
+            "meta_qr": [14, 15],
+        }
+        batch = TriangleBatch(
+            2, {name: (lambda values=values: values) for name, values in columns.items()}
+        )
+        tris = list(batch.triangles())
+        assert [(t.p, t.q, t.r) for t in tris] == [(0, 2, 4), (1, 3, 5)]
+        assert [t.meta_qr for t in tris] == [14, 15]
+
+
+class TestClosureTimePrecision:
+    def test_integer_nanosecond_timestamps_beyond_2_53(self):
+        """Batch bucketing must subtract in the stamps' own arithmetic.
+
+        Epoch-nanosecond integers exceed 2**53; casting raw stamps to
+        float64 before subtracting would collapse sub-ULP differences and
+        diverge from the scalar callback's exact integer subtraction.
+        """
+        base = 1_700_000_000_000_000_000
+        edges = [(0, 1, base), (1, 2, base + 513), (0, 2, base + 1025)]
+        dataset = GeneratedGraph(name="ns_triangle", edges=edges)
+        results = {}
+        for engine in ("legacy", "columnar"):
+            world = World(2)
+            dodgr = DODGraph.build(dataset.to_distributed(world), mode="bulk")
+            survey = ClosureTimeSurvey(world, timestamp=lambda meta: meta, name="s")
+            triangle_survey_push(dodgr, survey.callback, engine=engine)
+            survey.finalize()
+            results[engine] = survey.result()
+        assert results["legacy"] == results["columnar"] == {(10, 11): 1}
+
+
+class TestLog2Bucket:
+    def test_matches_ceil_log2(self):
+        for value in [0.0, -3.0, 0.5, 1.0, 1.0000001, 1.5, 2.0, 3.0, 4.0, 1024.0,
+                      1025.0, 2.0 ** 40, 2.0 ** 40 + 1.0, 7.25e8]:
+            if value <= 1.0:
+                assert log2_bucket(value) == 0
+            else:
+                assert log2_bucket(value) == math.ceil(math.log2(value)), value
+
+    def test_array_matches_scalar(self):
+        numpy = pytest.importorskip("numpy")
+        values = numpy.array(
+            [0.0, 0.25, 1.0, 1.5, 2.0, 2.5, 4.0, 1023.0, 1024.0, 1025.0, 2.0 ** 52]
+        )
+        assert log2_bucket_array(values).tolist() == [
+            log2_bucket(v) for v in values.tolist()
+        ]

@@ -155,3 +155,83 @@ class TestWorldBatchedDelivery:
         stats = world.stats.ranks[0].current
         assert stats.wire_messages == 1
         assert stats.wire_bytes == 12 + WIRE_ENVELOPE_BYTES
+
+
+class TestSendVirtualBulk:
+    """``send_virtual_bulk`` must replay the per-message walk exactly."""
+
+    def compare_streams(self, dests, sizes, threshold=64, rank=0, nranks=4,
+                        ranks_per_node=1, preload=0):
+        numpy = pytest.importorskip("numpy")
+
+        def make():
+            stats = RankStats(rank)
+            delivered = []
+            bank = BufferBank(
+                rank, nranks, stats, deliver=delivered.extend,
+                flush_threshold_bytes=threshold, ranks_per_node=ranks_per_node,
+            )
+            if preload:
+                # Pre-existing occupancy: the first bulk flush must carry it.
+                first_remote = next(d for d in range(nranks) if d != rank)
+                bank.send_virtual(first_remote, preload)
+            return bank, stats
+
+    # sequential reference
+        seq_bank, seq_stats = make()
+        for dest, size in zip(dests, sizes):
+            seq_bank.send_virtual(dest, size)
+    # bulk replay
+        bulk_bank, bulk_stats = make()
+        bulk_bank.send_virtual_bulk(
+            numpy.asarray(dests, dtype=numpy.int64),
+            numpy.asarray(sizes, dtype=numpy.int64),
+        )
+        seq, bulk = seq_stats.current, bulk_stats.current
+        for attr in ("rpcs_sent", "bytes_sent_local", "bytes_sent_remote",
+                     "wire_messages", "wire_bytes"):
+            assert getattr(bulk, attr) == getattr(seq, attr), attr
+        for key, buf in seq_bank._buffers.items():
+            twin = bulk_bank._buffers.get(key)
+            assert (twin.pending_bytes if twin is not None else 0) == buf.pending_bytes
+            assert (twin.flush_count if twin is not None else 0) == buf.flush_count
+
+    def test_empty_stream(self):
+        self.compare_streams([], [])
+
+    def test_local_only(self):
+        self.compare_streams([0, 0, 0], [10, 20, 30])
+
+    def test_mixed_destinations_with_flushes(self):
+        self.compare_streams([1, 2, 1, 0, 3, 1, 2], [30, 40, 40, 9, 100, 1, 63])
+
+    def test_oversized_single_message(self):
+        self.compare_streams([2], [500])
+
+    def test_threshold_boundary_exact(self):
+        self.compare_streams([1, 1], [63, 1])
+
+    def test_preexisting_occupancy_flushes_with_first_bulk(self):
+        self.compare_streams([1, 1, 1], [40, 40, 40], preload=30)
+
+    def test_node_level_aggregation_grouping(self):
+        self.compare_streams(
+            [1, 2, 3, 1, 2, 3], [30, 30, 30, 30, 30, 30], ranks_per_node=2
+        )
+
+    def test_random_fuzz(self):
+        import random
+
+        rng = random.Random(77)
+        for _ in range(100):
+            n = rng.randint(0, 60)
+            nranks = rng.randint(1, 5)
+            dests = [rng.randrange(nranks) for _ in range(n)]
+            sizes = [rng.randint(0, 120) for _ in range(n)]
+            self.compare_streams(
+                dests, sizes,
+                threshold=rng.choice([32, 64, 128]),
+                rank=rng.randrange(nranks),
+                nranks=nranks,
+                ranks_per_node=rng.choice([1, 2]),
+            )
