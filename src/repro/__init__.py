@@ -49,13 +49,17 @@ from .core import (
     FqdnTripleSurvey,
     LocalTriangleCounter,
     MaxEdgeLabelDistribution,
+    StreamingSurvey,
     SurveyReport,
     TriangleCounter,
+    incremental_triangle_survey,
     triangle_survey,
     triangle_survey_push,
     triangle_survey_push_pull,
 )
 from .graph import (
+    AppliedDelta,
+    DeltaBuffer,
     DODGraph,
     DistributedEdgeList,
     DistributedGraph,
@@ -98,6 +102,10 @@ __all__ = [
     "triangle_survey",
     "triangle_survey_push",
     "triangle_survey_push_pull",
+    "incremental_triangle_survey",
+    "StreamingSurvey",
+    "DeltaBuffer",
+    "AppliedDelta",
     "SurveyReport",
     "TriangleCounter",
     "LocalTriangleCounter",

@@ -1,6 +1,12 @@
 """End-to-end analyses reproducing the paper's application studies."""
 
-from .closure_times import ClosureTimeResult, describe_bucket, run_closure_time_survey
+from .closure_times import (
+    ClosureTimeResult,
+    StreamingClosureTimeStep,
+    describe_bucket,
+    run_closure_time_survey,
+    run_streaming_closure_time_survey,
+)
 from .clustering import (
     ClusteringResult,
     TrussResult,
@@ -13,7 +19,14 @@ from .degree_triples import (
     decorate_with_degrees,
     run_degree_triple_survey,
 )
-from .fqdn import AnchorSlice, FqdnSurveyResult, anchor_domain_slice, run_fqdn_survey
+from .fqdn import (
+    AnchorSlice,
+    FqdnSurveyResult,
+    StreamingFqdnStep,
+    anchor_domain_slice,
+    run_fqdn_survey,
+    run_streaming_fqdn_survey,
+)
 from .truss import TrussDecomposition, truss_decomposition
 
 __all__ = [
@@ -21,6 +34,8 @@ __all__ = [
     "truss_decomposition",
     "ClosureTimeResult",
     "run_closure_time_survey",
+    "StreamingClosureTimeStep",
+    "run_streaming_closure_time_survey",
     "describe_bucket",
     "DegreeTripleResult",
     "decorate_with_degrees",
@@ -28,6 +43,8 @@ __all__ = [
     "FqdnSurveyResult",
     "AnchorSlice",
     "run_fqdn_survey",
+    "StreamingFqdnStep",
+    "run_streaming_fqdn_survey",
     "anchor_domain_slice",
     "domain_cooccurrence_graph",
     "detect_communities",

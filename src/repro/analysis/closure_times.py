@@ -13,17 +13,25 @@ the histogram into the marginal and joint distributions plotted in Fig. 6.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.callbacks import ClosureTimeSurvey
+from ..core.incremental import StreamingSurvey
 from ..core.push_pull import triangle_survey_push_pull
 from ..core.results import SurveyReport
 from ..core.survey import triangle_survey_push
 from ..graph.dodgr import DODGraph
 from ..graph.distributed_graph import DistributedGraph
 from ..graph.metadata import edge_timestamp
+from ..runtime.world import World
 
-__all__ = ["ClosureTimeResult", "run_closure_time_survey", "describe_bucket"]
+__all__ = [
+    "ClosureTimeResult",
+    "run_closure_time_survey",
+    "StreamingClosureTimeStep",
+    "run_streaming_closure_time_survey",
+    "describe_bucket",
+]
 
 
 @dataclass
@@ -114,6 +122,93 @@ def run_closure_time_survey(
         closing=survey.closing_time_distribution(),
         opening=survey.opening_time_distribution(),
     )
+
+
+def _closure_marginals(
+    joint: Dict[Tuple[int, int], int]
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """(closing, opening) marginal histograms of a joint closure histogram."""
+    closing: Dict[int, int] = {}
+    opening: Dict[int, int] = {}
+    for (open_bucket, close_bucket), count in joint.items():
+        closing[close_bucket] = closing.get(close_bucket, 0) + count
+        opening[open_bucket] = opening.get(open_bucket, 0) + count
+    return closing, opening
+
+
+@dataclass
+class StreamingClosureTimeStep:
+    """One edge batch's view of a sliding-window closure-time survey.
+
+    ``window`` is the survey result over the triangles *discovered* by the
+    batches currently inside the window (each triangle is attributed to the
+    batch whose edge completed it — the delta-delivery semantics of
+    :mod:`repro.core.incremental`); ``cumulative`` is the joint histogram of
+    every batch so far, which is bit-identical to a full recompute at this
+    step (timestamps never mutate and the closure key is role-order
+    invariant).
+    """
+
+    batch_index: int
+    #: edges accepted from this batch (duplicates/self-loops dropped)
+    new_edges: int
+    #: delta-survey telemetry of this batch only
+    report: SurveyReport
+    #: windowed survey result (joint + marginals over the window's panels)
+    window: ClosureTimeResult
+    #: joint histogram accumulated since the stream started
+    cumulative: Dict[Tuple[int, int], int]
+
+
+def run_streaming_closure_time_survey(
+    world: World,
+    batches: Iterable[Iterable[tuple]],
+    window_batches: Optional[int] = None,
+    timestamp: Optional[Callable[[Any], float]] = None,
+    engine: Optional[str] = None,
+    graph_name: Optional[str] = None,
+) -> List[StreamingClosureTimeStep]:
+    """Sliding-window variant of :func:`run_closure_time_survey`.
+
+    Ingests ``batches`` (iterables of ``(u, v, edge_meta)`` records, e.g.
+    comment streams split by arrival time) one at a time through a
+    :class:`~repro.core.incremental.StreamingSurvey`: each batch is merged
+    into the live graph (first write wins), only the triangles it completes
+    are surveyed, and the per-batch histograms are merged into sliding-window
+    and cumulative views.  ``window_batches=None`` keeps every batch in the
+    window.
+    """
+    factory = (
+        (lambda w: ClosureTimeSurvey(w, timestamp=timestamp))
+        if timestamp is not None
+        else (lambda w: ClosureTimeSurvey(w))
+    )
+    survey = StreamingSurvey(
+        world,
+        factory,
+        window_batches=window_batches,
+        engine=engine,
+        graph_name=graph_name or "streaming_closure",
+    )
+    steps: List[StreamingClosureTimeStep] = []
+    for batch in batches:
+        step = survey.ingest(batch)
+        closing, opening = _closure_marginals(step.window)
+        steps.append(
+            StreamingClosureTimeStep(
+                batch_index=step.batch_index,
+                new_edges=step.new_edges,
+                report=step.report,
+                window=ClosureTimeResult(
+                    report=step.report,
+                    joint=step.window,
+                    closing=closing,
+                    opening=opening,
+                ),
+                cumulative=step.cumulative,
+            )
+        )
+    return steps
 
 
 #: Human-readable labels for log2-second buckets (used by reports/examples).

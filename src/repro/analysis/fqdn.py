@@ -12,17 +12,26 @@ the axes by the communities of the domain co-occurrence graph.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.callbacks import FqdnTripleSurvey
+from ..core.incremental import StreamingSurvey
 from ..core.push_pull import triangle_survey_push_pull
 from ..core.results import SurveyReport
 from ..core.survey import triangle_survey_push
 from ..graph.distributed_graph import DistributedGraph
 from ..graph.dodgr import DODGraph
+from ..runtime.world import World
 from .communities import community_ordering, domain_cooccurrence_graph
 
-__all__ = ["FqdnSurveyResult", "AnchorSlice", "run_fqdn_survey", "anchor_domain_slice"]
+__all__ = [
+    "FqdnSurveyResult",
+    "AnchorSlice",
+    "run_fqdn_survey",
+    "StreamingFqdnStep",
+    "run_streaming_fqdn_survey",
+    "anchor_domain_slice",
+]
 
 
 @dataclass
@@ -108,6 +117,62 @@ def run_fqdn_survey(
         raise ValueError(f"unknown algorithm {algorithm!r}")
     survey.finalize()
     return FqdnSurveyResult(report=report, triple_counts=survey.result())
+
+
+@dataclass
+class StreamingFqdnStep:
+    """One crawl batch's view of a sliding-window FQDN survey.
+
+    ``window`` holds the 3-tuple counts over the triangles discovered by the
+    batches currently inside the window; ``cumulative`` accumulates every
+    batch and equals a full recompute's :meth:`FqdnTripleSurvey.result` at
+    this step (FQDN keys are sorted, hence role-order invariant).  The
+    windowed result is a full :class:`FqdnSurveyResult`, so the Fig. 8
+    post-processing (:func:`anchor_domain_slice`) applies to any window.
+    """
+
+    batch_index: int
+    new_edges: int
+    report: SurveyReport
+    window: FqdnSurveyResult
+    cumulative: Dict[Tuple[str, str, str], int]
+
+
+def run_streaming_fqdn_survey(
+    world: World,
+    batches: Iterable[Iterable[tuple]],
+    vertex_meta: Optional[Dict[Any, str]] = None,
+    window_batches: Optional[int] = None,
+    engine: Optional[str] = None,
+    graph_name: Optional[str] = None,
+) -> List[StreamingFqdnStep]:
+    """Sliding-window variant of :func:`run_fqdn_survey` for crawl streams.
+
+    ``batches`` are iterables of ``(u, v, edge_meta)`` link records as a
+    crawler discovers them; ``vertex_meta`` maps page ids to FQDN strings
+    and is staged with every batch but applied first-write-wins, so a page's
+    domain is pinned by the batch that first mentions it.
+    """
+    survey = StreamingSurvey(
+        world,
+        lambda w: FqdnTripleSurvey(w),
+        window_batches=window_batches,
+        engine=engine,
+        graph_name=graph_name or "streaming_fqdn",
+    )
+    steps: List[StreamingFqdnStep] = []
+    for batch in batches:
+        step = survey.ingest(batch, vertex_meta=vertex_meta)
+        steps.append(
+            StreamingFqdnStep(
+                batch_index=step.batch_index,
+                new_edges=step.new_edges,
+                report=step.report,
+                window=FqdnSurveyResult(report=step.report, triple_counts=step.window),
+                cumulative=step.cumulative,
+            )
+        )
+    return steps
 
 
 def anchor_domain_slice(

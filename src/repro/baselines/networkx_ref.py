@@ -42,10 +42,12 @@ def local_triangle_counts_nx(edges: Edges) -> Dict[Hashable, int]:
 
 
 def clustering_coefficients_nx(edges: Edges) -> Dict[Hashable, float]:
+    """Per-vertex local clustering coefficients using networkx."""
     return dict(nx.clustering(_to_nx(edges)))
 
 
 def average_clustering_nx(edges: Edges) -> float:
+    """Average local clustering coefficient using networkx (0.0 if empty)."""
     graph = _to_nx(edges)
     if graph.number_of_nodes() == 0:
         return 0.0

@@ -42,7 +42,24 @@ def pearce_triangle_count(
     graph_name: Optional[str] = None,
     max_prune_rounds: int = 50,
 ) -> SurveyReport:
-    """Count triangles with the Pearce-style prune + wedge-query algorithm."""
+    """Count triangles with the Pearce-style prune + wedge-query algorithm.
+
+    Parameters
+    ----------
+    graph:
+        The decorated undirected input graph (metadata is ignored — this
+        baseline counts only).
+    reset_stats:
+        Clear the world's counters first so the report covers only this run.
+    graph_name:
+        Name recorded in the returned report (defaults to ``graph.name``).
+    max_prune_rounds:
+        Upper bound on degree-1 pruning rounds; pruning also stops at the
+        first round that removes nothing.
+
+    Returns a :class:`~repro.core.results.SurveyReport` with the ``prune``
+    and ``wedge_check`` phase breakdown used by the Table 2 comparison.
+    """
     world = graph.world
     if reset_stats:
         world.reset_stats()

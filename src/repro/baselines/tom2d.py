@@ -38,11 +38,13 @@ MULTIPLY_PHASE = "block_multiply"
 
 
 def is_perfect_square(value: int) -> bool:
+    """True when ``value`` is a perfect square (the 2D grid constraint)."""
     root = math.isqrt(value)
     return root * root == value
 
 
 def _vertex_group(vertex: Hashable, grid: int) -> int:
+    """Row/column group of a vertex on the sqrt(P) x sqrt(P) process grid."""
     return stable_hash(("tom2d", vertex)) % grid
 
 
@@ -53,7 +55,19 @@ def tom2d_triangle_count(
 ) -> SurveyReport:
     """Count triangles with the 2D block algorithm.
 
-    Raises ``ValueError`` if the world size is not a perfect square.
+    Parameters
+    ----------
+    graph:
+        The decorated undirected input graph (metadata is ignored — this
+        baseline counts only).
+    reset_stats:
+        Clear the world's counters first so the report covers only this run.
+    graph_name:
+        Name recorded in the returned report (defaults to ``graph.name``).
+
+    Returns a :class:`~repro.core.results.SurveyReport` with the
+    ``block_exchange`` / ``block_multiply`` phase breakdown.  Raises
+    ``ValueError`` if the world size is not a perfect square.
     """
     world = graph.world
     nranks = world.nranks

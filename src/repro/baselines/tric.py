@@ -36,7 +36,22 @@ def tric_triangle_count(
     reset_stats: bool = True,
     graph_name: Optional[str] = None,
 ) -> SurveyReport:
-    """Count triangles with the TriC-style per-edge enumeration."""
+    """Count triangles with the TriC-style per-edge enumeration.
+
+    Parameters
+    ----------
+    graph:
+        The decorated undirected input graph (metadata is ignored — this
+        baseline counts only).
+    reset_stats:
+        Clear the world's counters first so the report covers only this run.
+    graph_name:
+        Name recorded in the returned report (defaults to ``graph.name``).
+
+    Returns a :class:`~repro.core.results.SurveyReport` whose
+    ``adjacency_request`` / ``edge_intersect`` phases carry the Table 2
+    communication breakdown.
+    """
     world = graph.world
     nranks = world.nranks
     if reset_stats:

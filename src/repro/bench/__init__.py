@@ -18,6 +18,12 @@ from .scaling import (
     strong_scaling,
     weak_scaling_rmat,
 )
+from .streaming import (
+    FullRecompute,
+    StreamingSchedule,
+    full_recompute_survey,
+    make_streaming_schedule,
+)
 
 __all__ = [
     "DATASETS",
@@ -30,6 +36,10 @@ __all__ = [
     "run_survey_at_scale",
     "strong_scaling",
     "weak_scaling_rmat",
+    "StreamingSchedule",
+    "make_streaming_schedule",
+    "FullRecompute",
+    "full_recompute_survey",
     "ComparisonResult",
     "SystemResult",
     "compare_systems",

@@ -72,6 +72,7 @@ class DistributedCountingSet:
         return ctx.local_state[self._cache_slot]
 
     def owner(self, item: Any) -> int:
+        """Rank that stores ``item``'s count (stable hash of name/item)."""
         return stable_hash((self.name, item)) % self.world.nranks
 
     # ------------------------------------------------------------------

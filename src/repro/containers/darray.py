@@ -61,6 +61,7 @@ class DistributedArray:
         return lo, hi
 
     def owner(self, index: int) -> int:
+        """Rank owning ``index`` under the contiguous block partition."""
         if index < 0 or index >= self.length:
             raise IndexError(f"index {index} out of range [0, {self.length})")
         if self.block == 0:
@@ -68,6 +69,7 @@ class DistributedArray:
         return min(index // self.block, self.world.nranks - 1)
 
     def local_values(self, rank_or_ctx: int | RankContext) -> np.ndarray:
+        """The rank's local block as a (mutable) NumPy array view."""
         ctx = (
             rank_or_ctx
             if isinstance(rank_or_ctx, RankContext)
@@ -89,15 +91,18 @@ class DistributedArray:
         ctx.async_call(self.owner(index), self._h_add, index, float(amount))
 
     def async_set(self, ctx: RankContext, index: int, value: float) -> None:
+        """Overwrite a (possibly remote) element, fire-and-forget."""
         ctx.async_call(self.owner(index), self._h_set, index, float(value))
 
     # ------------------------------------------------------------------
     def __getitem__(self, index: int) -> float:
+        """Driver-side element read from the owning rank's block."""
         rank = self.owner(index)
         lo, _ = self.local_range(rank)
         return float(self.local_values(rank)[index - lo])
 
     def __setitem__(self, index: int, value: float) -> None:
+        """Driver-side element write into the owning rank's block."""
         rank = self.owner(index)
         lo, _ = self.local_range(rank)
         self.local_values(rank)[index - lo] = value
@@ -121,4 +126,5 @@ class DistributedArray:
             block[:] = fn(block)
 
     def sum(self) -> float:
+        """Sum of every element across all ranks (driver-side reduction)."""
         return float(sum(self.local_values(r).sum() for r in range(self.world.nranks)))

@@ -38,6 +38,7 @@ class DistributedBag:
         return f"container:{self.name}"
 
     def local_items(self, rank_or_ctx: int | RankContext) -> List[Any]:
+        """The raw list holding this bag's items on one rank."""
         ctx = (
             rank_or_ctx
             if isinstance(rank_or_ctx, RankContext)
@@ -65,20 +66,24 @@ class DistributedBag:
         self.local_items(rank).append(item)
 
     def extend(self, items: Iterable[Any]) -> None:
+        """Driver-side bulk insert, round-robin over ranks."""
         for item in items:
             self.insert(item)
 
     def size(self) -> int:
+        """Total number of items across all ranks (duplicates included)."""
         return sum(len(self.local_items(r)) for r in range(self.world.nranks))
 
     def __len__(self) -> int:
         return self.size()
 
     def items(self) -> Iterator[Any]:
+        """Iterate over every item in rank order (insertion order per rank)."""
         for rank in range(self.world.nranks):
             yield from self.local_items(rank)
 
     def rank_sizes(self) -> List[int]:
+        """Number of items on each rank (load-balance diagnostics)."""
         return [len(self.local_items(r)) for r in range(self.world.nranks)]
 
     def for_all(self, fn: Callable[[RankContext, Any], None]) -> None:
@@ -96,5 +101,6 @@ class DistributedBag:
             self.local_items(index % nranks).append(item)
 
     def clear(self) -> None:
+        """Drop every item on every rank (driver-side)."""
         for rank in range(self.world.nranks):
             self.local_items(rank).clear()

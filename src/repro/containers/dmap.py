@@ -22,8 +22,14 @@ __all__ = ["DistributedMap"]
 
 
 class DistributedMap:
-    """A hash-partitioned key/value store (``ygm::container::map``, Section 2;
-    TriPoll stores the DODGr's vertex -> (meta, Adj^m_+) records in one).
+    """A hash-partitioned key/value store (``ygm::container::map``, Section 2).
+
+    The general-purpose owner-visits container.  (TriPoll's C++ stores the
+    DODGr in one of these; this reproduction's
+    :class:`~repro.graph.dodgr.DODGraph` instead keeps its records in
+    per-rank stores with a flat :class:`~repro.graph.dodgr.CSRAdjacency`
+    snapshot on top, so the survey engines can iterate arrays — the map
+    remains the container for everything without a bespoke layout.)
 
     Parameters
     ----------
@@ -31,7 +37,8 @@ class DistributedMap:
         The simulated world the map is distributed over.
     name:
         Identifier used for the per-rank storage slot; two maps with different
-        names coexist independently on the same world.
+        names coexist independently on the same world (``None`` generates a
+        unique ``dmap_<n>`` name).
     """
 
     _counter = 0
@@ -92,9 +99,11 @@ class DistributedMap:
         ctx.async_call(self.owner(key), self._h_insert, key, value)
 
     def async_insert_if_missing(self, ctx: RankContext, key: Any, value: Any) -> None:
+        """Insert ``key`` only if absent on its owner rank (fire-and-forget)."""
         ctx.async_call(self.owner(key), self._h_insert_if_missing, key, value)
 
     def async_erase(self, ctx: RankContext, key: Any) -> None:
+        """Remove ``key`` from its owner rank (fire-and-forget, no-op if absent)."""
         ctx.async_call(self.owner(key), self._h_erase, key)
 
     def register_visitor(
@@ -147,9 +156,11 @@ class DistributedMap:
         return self.local_store(self.owner(key)).get(key, default)
 
     def __contains__(self, key: Any) -> bool:
+        """Driver-side membership test against the owner's local store."""
         return key in self.local_store(self.owner(key))
 
     def erase(self, key: Any) -> None:
+        """Driver-side removal (no-op if ``key`` is absent)."""
         self.local_store(self.owner(key)).pop(key, None)
 
     def size(self) -> int:
@@ -165,6 +176,7 @@ class DistributedMap:
             yield from self.local_store(rank).items()
 
     def keys(self) -> Iterator[Any]:
+        """Iterate over every key in rank order."""
         for key, _ in self.items():
             yield key
 
@@ -177,6 +189,7 @@ class DistributedMap:
         return [len(self.local_store(r)) for r in range(self.world.nranks)]
 
     def clear(self) -> None:
+        """Drop every pair on every rank (driver-side)."""
         for rank in range(self.world.nranks):
             self.local_store(rank).clear()
 

@@ -37,6 +37,7 @@ class DistributedSet:
         return f"container:{self.name}"
 
     def local_items(self, rank_or_ctx: int | RankContext) -> set:
+        """The raw Python set holding this container's items on one rank."""
         ctx = (
             rank_or_ctx
             if isinstance(rank_or_ctx, RankContext)
@@ -45,6 +46,7 @@ class DistributedSet:
         return ctx.local_state[self._slot]
 
     def owner(self, item: Any) -> int:
+        """Rank that stores ``item`` (stable hash of the name/item pair)."""
         return stable_hash((self.name, item)) % self.world.nranks
 
     # ------------------------------------------------------------------
@@ -55,34 +57,43 @@ class DistributedSet:
         self.local_items(ctx).discard(item)
 
     def async_insert(self, ctx: RankContext, item: Any) -> None:
+        """Insert ``item`` on its owner rank (fire-and-forget, idempotent)."""
         ctx.async_call(self.owner(item), self._h_insert, item)
 
     def async_erase(self, ctx: RankContext, item: Any) -> None:
+        """Remove ``item`` from its owner rank (fire-and-forget, no-op if absent)."""
         ctx.async_call(self.owner(item), self._h_erase, item)
 
     # ------------------------------------------------------------------
     def insert(self, item: Any) -> None:
+        """Driver-side insert directly into the owner's local set."""
         self.local_items(self.owner(item)).add(item)
 
     def __contains__(self, item: Any) -> bool:
+        """Driver-side membership test against the owner's local set."""
         return item in self.local_items(self.owner(item))
 
     def erase(self, item: Any) -> None:
+        """Driver-side removal (no-op if ``item`` is absent)."""
         self.local_items(self.owner(item)).discard(item)
 
     def size(self) -> int:
+        """Total number of distinct items across all ranks."""
         return sum(len(self.local_items(r)) for r in range(self.world.nranks))
 
     def __len__(self) -> int:
         return self.size()
 
     def items(self) -> Iterator[Any]:
+        """Iterate over every item in rank order (set order within a rank)."""
         for rank in range(self.world.nranks):
             yield from self.local_items(rank)
 
     def rank_sizes(self) -> List[int]:
+        """Number of items on each rank (load-balance diagnostics)."""
         return [len(self.local_items(r)) for r in range(self.world.nranks)]
 
     def clear(self) -> None:
+        """Drop every item on every rank (driver-side)."""
         for rank in range(self.world.nranks):
             self.local_items(rank).clear()

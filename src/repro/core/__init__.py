@@ -23,6 +23,14 @@ from .callbacks import (
     TriangleCounter,
     log2_bucket,
     log2_bucket_array,
+    merge_count_dicts,
+)
+from .incremental import (
+    DELTA_PUSH_PHASE,
+    INCREMENTAL_ENGINES,
+    StreamingStep,
+    StreamingSurvey,
+    incremental_triangle_survey,
 )
 from .intersection import (
     BATCH_KERNELS,
@@ -53,6 +61,12 @@ __all__ = [
     "triangle_survey",
     "triangle_survey_push",
     "triangle_survey_push_pull",
+    "incremental_triangle_survey",
+    "StreamingSurvey",
+    "StreamingStep",
+    "INCREMENTAL_ENGINES",
+    "DELTA_PUSH_PHASE",
+    "merge_count_dicts",
     "approximate_triangle_count",
     "sparsify_graph",
     "ApproximateCount",

@@ -69,7 +69,44 @@ __all__ = [
     "FqdnTripleSurvey",
     "log2_bucket",
     "log2_bucket_array",
+    "merge_count_dicts",
 ]
+
+
+def merge_count_dicts(snapshots: "Any") -> Dict[Any, int]:
+    """Sum an iterable of ``key -> count`` histograms into one.
+
+    The merge half of the reducer ``snapshot``/``merge`` contract used by
+    sliding-window streaming surveys (see :mod:`repro.core.incremental` and
+    ``docs/reducers.md``): counts are additive, so a window's histogram is
+    the sum of its per-batch panel snapshots.
+    """
+    merged: Dict[Any, int] = {}
+    for snap in snapshots:
+        for key, amount in snap.items():
+            merged[key] = merged.get(key, 0) + amount
+    return merged
+
+
+class _SnapshotMerge:
+    """``snapshot()``/``merge()`` for histogram-shaped reducers.
+
+    ``snapshot()`` freezes the reducer's current :meth:`result` as a plain
+    dict (one *panel* of a streaming survey); the :meth:`merge` classmethod
+    sums any number of panels back into one result of the same shape.  Both
+    are pure — they never touch distributed state — so panels survive after
+    the reducer (and its counting set) is discarded, which is what lets a
+    sliding window retire old batches by simply dropping their panels.
+    """
+
+    def snapshot(self) -> Dict[Any, int]:
+        """A frozen copy of :meth:`result` (safe to keep after the reducer dies)."""
+        return dict(self.result())
+
+    @classmethod
+    def merge(cls, snapshots) -> Dict[Any, int]:
+        """Sum panel snapshots produced by :meth:`snapshot`."""
+        return merge_count_dicts(snapshots)
 
 
 def log2_bucket(value: float) -> int:
@@ -118,8 +155,17 @@ class TriangleCounter:
         """Global triangle count (the All_Reduce of Algorithm 2)."""
         return all_reduce_sum(self.world, self._per_rank)
 
+    def snapshot(self) -> int:
+        """The current global count as a plain int (streaming panel)."""
+        return self.result()
 
-class LocalTriangleCounter:
+    @classmethod
+    def merge(cls, snapshots) -> int:
+        """Sum panel counts produced by :meth:`snapshot`."""
+        return sum(snapshots)
+
+
+class LocalTriangleCounter(_SnapshotMerge):
     """Per-vertex triangle participation counts.
 
     Every triangle Δpqr increments the count of all three vertices.  Counts
@@ -164,7 +210,7 @@ class LocalTriangleCounter:
         return self.counts.count_of(vertex)
 
 
-class EdgeSupportCounter:
+class EdgeSupportCounter(_SnapshotMerge):
     """Per-edge triangle participation (truss support values).
 
     Edges are keyed canonically as ``(min, max)`` by vertex ordering so the
@@ -215,7 +261,7 @@ class EdgeSupportCounter:
         return self.counts.count_of(self._edge_key(u, v))
 
 
-class MaxEdgeLabelDistribution:
+class MaxEdgeLabelDistribution(_SnapshotMerge):
     """Algorithm 3: distribution of the maximum edge label over triangles
     whose three vertex labels are pairwise distinct."""
 
@@ -271,7 +317,7 @@ class MaxEdgeLabelDistribution:
         return self.counters.counts()
 
 
-class ClosureTimeSurvey:
+class ClosureTimeSurvey(_SnapshotMerge):
     """Algorithm 4: joint distribution of wedge-opening and triangle-closing times.
 
     For each triangle the three edge timestamps ``t1 <= t2 <= t3`` define the
@@ -358,11 +404,14 @@ class ClosureTimeSurvey:
         return out
 
 
-class DegreeTripleSurvey:
+class DegreeTripleSurvey(_SnapshotMerge):
     """Section 5.9: histogram of log2-bucketed degree triples (d(p), d(q), d(r)).
 
     Vertex metadata must carry the vertex's degree (an integer); the
-    benchmark harness decorates the graph accordingly.
+    benchmark harness decorates the graph accordingly.  Note for streaming
+    use: the triple is *role-ordered* (p, q, r) and the degree decoration is
+    a snapshot in time, so unlike the other stock reducers its merged panels
+    are not guaranteed to equal a full recompute on the merged graph.
     """
 
     def __init__(
@@ -414,7 +463,7 @@ class DegreeTripleSurvey:
         return self.counters.counts()
 
 
-class FqdnTripleSurvey:
+class FqdnTripleSurvey(_SnapshotMerge):
     """Section 5.8: count 3-tuples of FQDNs over triangles with three distinct FQDNs.
 
     Vertex metadata is the FQDN string.  Tuples are stored sorted so the

@@ -258,6 +258,13 @@ def _batch_via_scalar(
 #: wins the least.
 _SCALAR_BATCH_CUTOFF = 96
 
+#: The row kernels additionally require at most this many segments before
+#: routing small inputs to the scalar path: a scalar merge costs one Python
+#: kernel call *per segment*, so a many-segment call (the incremental
+#: engine's sparse delta streams) amortizes the vectorized pipeline's fixed
+#: overhead even when the candidate count alone would not.
+_SCALAR_ROW_SEGMENT_CUTOFF = 4
+
 
 def _identity(value: Any) -> Any:
     return value
@@ -546,7 +553,10 @@ def merge_path_rows(
     what one :func:`merge_path_intersection` call per segment (against its
     row slice) would produce.
     """
-    if _np is None or len(candidate_keys) <= _SCALAR_BATCH_CUTOFF:
+    if _np is None or (
+        len(candidate_keys) <= _SCALAR_BATCH_CUTOFF
+        and len(offsets) - 1 <= _SCALAR_ROW_SEGMENT_CUTOFF
+    ):
         return _rows_via_scalar(
             merge_path_intersection, candidate_keys, offsets, seg_rows, adjacency
         )
@@ -614,7 +624,10 @@ def hash_rows(
     The comparison count models one table build per segment over its row:
     ``sum(row lengths) + len(candidate_keys)``.
     """
-    if _np is None or len(candidate_keys) <= _SCALAR_BATCH_CUTOFF:
+    if _np is None or (
+        len(candidate_keys) <= _SCALAR_BATCH_CUTOFF
+        and len(offsets) - 1 <= _SCALAR_ROW_SEGMENT_CUTOFF
+    ):
         return _rows_via_scalar(
             hash_intersection, candidate_keys, offsets, seg_rows, adjacency
         )

@@ -1,6 +1,7 @@
 """Decorated temporal graph substrate: storage, construction, generators, I/O."""
 
 from .degree import DegreeOrder, order_key, precedes
+from .delta import AppliedDelta, DeltaBuffer
 from .directed import (
     DirectedEdgeMeta,
     EdgeDirection,
@@ -63,6 +64,8 @@ __all__ = [
     "entry_key",
     "DistributedEdgeList",
     "canonical_pair",
+    "DeltaBuffer",
+    "AppliedDelta",
     "DegreeOrder",
     "order_key",
     "precedes",

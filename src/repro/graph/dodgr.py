@@ -38,7 +38,7 @@ from __future__ import annotations
 from types import SimpleNamespace
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
-from ..runtime.serialization import serialized_size
+from ..runtime.serialization import int_size_array, serialized_size
 from ..runtime.world import RankContext, World
 from .columnar import group_slices
 from .degree import order_key, order_positions
@@ -108,6 +108,7 @@ class CSRAdjacency:
         "row_order_ids",
         "_columns",
         "row_adj_cache",
+        "_delta_inv_index",
     )
 
     def __init__(
@@ -125,13 +126,7 @@ class CSRAdjacency:
         self.row_wire_sizes: List[int] = []
         indptr: List[int] = [0]
         entries: List[AdjEntry] = []
-        tgt_ids: List[int] = []
-        tgt_owner: List[int] = []
-        tgt_wire_sizes: List[int] = []
-        cand_cumsum: List[int] = [0]
         self.row_order_ids: List[int] = []
-        running = 0
-        all_int_targets = True
         for vertex, record in store.items():
             self.vertex_rows[vertex] = len(self.row_vertices)
             self.row_order_ids.append(order_ids[vertex])
@@ -141,13 +136,25 @@ class CSRAdjacency:
             self.row_wire_sizes.append(
                 serialized_size(vertex) + serialized_size(record["meta"])
             )
-            for entry in record["adj"]:
-                entries.append(entry)
-                target = entry[0]
-                tgt_ids.append(order_ids[target])
-                if all_int_targets and type(target) is not int:
-                    all_int_targets = False
-                sz_target = serialized_size(target)
+            entries.extend(record["adj"])
+            indptr.append(len(entries))
+        self.num_edges = len(entries)
+        self.indptr = indptr
+        self.entries = entries
+        targets = [entry[0] for entry in entries]
+        tgt_ids = [order_ids[target] for target in targets]
+        all_int_targets = all(type(target) is int for target in targets)
+        # Exact per-edge wire sizes: the whole candidate column at once when
+        # the value types allow it, one serialized_size call per field else.
+        sized = False
+        if _np is not None and entries:
+            sized = self._vector_entry_sizes(entries, targets, all_int_targets)
+        if not sized:
+            tgt_wire_sizes: List[int] = []
+            cand_cumsum: List[int] = [0]
+            running = 0
+            for entry in entries:
+                sz_target = serialized_size(entry[0])
                 sz_degree = serialized_size(entry[1])
                 sz_edge_meta = serialized_size(entry[2])
                 # One candidate tuple (r, d(r), meta(p, r)) on the legacy
@@ -155,26 +162,20 @@ class CSRAdjacency:
                 running += 2 + sz_target + sz_degree + sz_edge_meta
                 cand_cumsum.append(running)
                 tgt_wire_sizes.append(sz_target + sz_edge_meta)
-            indptr.append(len(entries))
-        self.num_edges = len(entries)
-        self.indptr = indptr
-        self.entries = entries
+            self.tgt_wire_sizes = tgt_wire_sizes
+            self.cand_size_cumsum = cand_cumsum
         # Owner ranks: one vectorized partition-map evaluation over the whole
         # target column when ids are integers, scalar lookups otherwise.
         self.tgt_owner = None
         if partitioner is not None and _np is not None and all_int_targets and entries:
             try:
-                targets = _np.fromiter(
-                    (entry[0] for entry in entries), dtype=_np.int64, count=len(entries)
-                )
+                targets_arr = _np.fromiter(targets, dtype=_np.int64, count=len(targets))
             except OverflowError:  # ids beyond int64: scalar fallback
-                targets = None
-            if targets is not None:
-                self.tgt_owner = partitioner.owners_array(targets).tolist()
+                targets_arr = None
+            if targets_arr is not None:
+                self.tgt_owner = partitioner.owners_array(targets_arr).tolist()
         if self.tgt_owner is None:
-            self.tgt_owner = [owner_of(entry[0]) for entry in entries]
-        self.tgt_wire_sizes = tgt_wire_sizes
-        self.cand_size_cumsum = cand_cumsum
+            self.tgt_owner = [owner_of(target) for target in targets]
         if _np is not None:
             self.tgt_ids = _np.asarray(tgt_ids, dtype=_np.int64)
         else:
@@ -182,6 +183,68 @@ class CSRAdjacency:
         self._columns = None
         #: slot for the core engine's cached RowAdjacency view of this CSR
         self.row_adj_cache = None
+        #: slot for the incremental engine's cached inverted target index
+        self._delta_inv_index = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _vector_value_sizes(values: List[Any]) -> Optional[Any]:
+        """Exact serialized sizes of a homogeneous scalar column, or None.
+
+        Handles the column shapes the generators emit — all-float, all-int
+        or all-None metadata — where per-value wire sizes are computable as
+        one array expression; anything mixed or structured returns None and
+        the caller sizes values one by one.
+        """
+        first = values[0]
+        if first.__class__ is float:
+            if all(value.__class__ is float for value in values):
+                return _np.full(len(values), 9, dtype=_np.int64)  # tag + double
+            return None
+        if first.__class__ is int:
+            if all(value.__class__ is int for value in values):
+                try:
+                    column = _np.fromiter(values, dtype=_np.int64, count=len(values))
+                except OverflowError:  # beyond int64: scalar fallback
+                    return None
+                return int_size_array(column)
+            return None
+        if first is None and all(value is None for value in values):
+            return _np.ones(len(values), dtype=_np.int64)
+        return None
+
+    def _vector_entry_sizes(
+        self, entries: List[AdjEntry], targets: List[Hashable], all_int_targets: bool
+    ) -> bool:
+        """Try the columnar wire-size path; True when the arrays were built.
+
+        Bit-identical to the scalar loop (``int_size_array``/constant sizes
+        replay ``serialized_size`` exactly, pinned by
+        ``tests/runtime/test_serialization.py``) but sizes the whole edge
+        column in a handful of array expressions — the dominant cost of a
+        CSR snapshot build, which streaming surveys pay once per batch.
+        """
+        if not all_int_targets:
+            return False
+        try:
+            targets_arr = _np.fromiter(targets, dtype=_np.int64, count=len(targets))
+        except OverflowError:
+            return False
+        meta_sizes = self._vector_value_sizes([entry[2] for entry in entries])
+        if meta_sizes is None:
+            return False
+        degrees = _np.fromiter(
+            (entry[1] for entry in entries), dtype=_np.int64, count=len(entries)
+        )
+        sz_target = int_size_array(targets_arr)
+        sz_degree = int_size_array(degrees)
+        # One candidate tuple (r, d(r), meta(p, r)) on the legacy wire:
+        # 2 framing bytes (tuple tag + arity) plus its fields.
+        per_edge = 2 + sz_target + sz_degree + meta_sizes
+        cumsum = _np.concatenate(([0], _np.cumsum(per_edge)))
+        self.tgt_wire_sizes = (sz_target + meta_sizes).tolist()
+        self.cand_size_cumsum = cumsum.tolist()
+        return True
 
     # ------------------------------------------------------------------
     def columns(self) -> "SimpleNamespace":
@@ -526,6 +589,22 @@ class DODGraph:
             )
             self._csr[rank] = snapshot
         return snapshot
+
+    def release(self) -> None:
+        """Free this graph's runtime footprint; the graph is unusable after.
+
+        Streaming surveys rebuild the DODGr once per batch — without this,
+        every superseded rebuild stays pinned for the world's lifetime by
+        its construction handler and per-rank store slots.  Releasing
+        tombstones the handler (id allocation, and therefore every accounted
+        message size, is unchanged — see
+        :meth:`~repro.runtime.rpc.RpcRegistry.release`) and drops the rank
+        stores and derived views.
+        """
+        self.world.registry.release(self._h_offer_edge)
+        for ctx in self.world.ranks:
+            ctx.local_state.pop(self._slot, None)
+        self._invalidate_derived()
 
     # ------------------------------------------------------------------
     # Queries

@@ -101,11 +101,34 @@ class RpcRegistry:
             return func_or_handle
         return self.register(func_or_handle)
 
+    def release(self, handle: RpcHandle) -> None:
+        """Drop a handler's callable while keeping its id slot allocated.
+
+        Long-lived worlds that register per-batch closures (the incremental
+        survey engines, superseded DODGr rebuilds) use this so the registry
+        does not pin every captured graph for the world's lifetime.  The id
+        slot is tombstoned, never recycled: later registrations keep getting
+        fresh ids, so the serialized size of every subsequently accounted
+        message — which includes a handler-id varint — is unchanged.
+        Invoking a released handler raises :class:`RpcError`.  Idempotent.
+        """
+        try:
+            func = self._handlers[handle.handler_id]
+        except IndexError as exc:
+            raise RpcError(f"unknown handler id {handle.handler_id}") from exc
+        if func is None:
+            return
+        self._handlers[handle.handler_id] = None
+        self._by_callable.pop(id(func), None)
+
     def handler(self, handler_id: int) -> Callable[..., Any]:
         try:
-            return self._handlers[handler_id]
+            func = self._handlers[handler_id]
         except IndexError as exc:
             raise RpcError(f"unknown handler id {handler_id}") from exc
+        if func is None:
+            raise RpcError(f"handler id {handler_id} has been released")
+        return func
 
     def _handler_name(self, handler_id: int) -> str:
         for name, hid in self._by_name.items():

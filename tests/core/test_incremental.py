@@ -1,0 +1,257 @@
+"""Golden parity suite of the incremental survey subsystem (ISSUE 4).
+
+Three layers of contract, each pinned here:
+
+* **replay parity** — merging per-batch reducer panels over a randomized
+  edge-batch schedule is bit-identical to a full recompute at every step,
+  for every role-order-invariant stock reducer;
+* **engine parity** — the scalar reference engine and the columnar engine
+  report identical communication counters and reducer panels per step;
+* **cold-start golden** — a first batch (everything new) degenerates to the
+  full push survey, every counter included.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.callbacks import (
+    ClosureTimeSurvey,
+    EdgeSupportCounter,
+    LocalTriangleCounter,
+    TriangleCounter,
+)
+from repro.core.incremental import StreamingSurvey, incremental_triangle_survey
+from repro.core.survey import triangle_survey_push
+from repro.graph.delta import DeltaBuffer
+from repro.graph.distributed_graph import DistributedGraph
+from repro.graph.dodgr import DODGraph
+from repro.graph.generators import erdos_renyi, rmat
+from repro.runtime.world import World
+
+NRANKS = 4
+
+
+def timestamped(edges):
+    return [(u, v, float(i % 97) + 1.0) for i, (u, v, _m) in enumerate(edges)]
+
+
+def shuffled(edges, seed):
+    rng = np.random.default_rng(seed)
+    return [edges[i] for i in rng.permutation(len(edges))]
+
+
+def random_schedule(edges, seed, num_batches):
+    """Randomized batch boundaries (every batch non-empty)."""
+    rng = np.random.default_rng(seed)
+    cuts = sorted(rng.choice(range(1, len(edges)), size=num_batches - 1, replace=False))
+    bounds = [0] + [int(c) for c in cuts] + [len(edges)]
+    return [edges[bounds[k] : bounds[k + 1]] for k in range(num_batches)]
+
+
+def full_recompute(edges, reducer_factory, nranks=NRANKS):
+    world = World(nranks)
+    graph = DistributedGraph(world, name="oracle")
+    for u, v, meta in edges:
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, meta)
+    dodgr = DODGraph.build(graph, mode="bulk")
+    reducer = reducer_factory(world)
+    report = triangle_survey_push(dodgr, reducer.callback, engine="columnar")
+    if hasattr(reducer, "finalize"):
+        reducer.finalize()
+    return report, reducer.result()
+
+
+def counters_of(report):
+    return (
+        report.triangles,
+        report.wedge_checks,
+        report.communication_bytes,
+        report.wire_messages,
+        report.simulated_seconds,
+    )
+
+
+REDUCERS = {
+    "triangle_count": TriangleCounter,
+    "closure_times": ClosureTimeSurvey,
+    "local_counts": LocalTriangleCounter,
+    "edge_support": EdgeSupportCounter,
+}
+
+
+@pytest.mark.parametrize("graph_seed,schedule_seed", [(3, 11), (5, 23)])
+@pytest.mark.parametrize("generator", ["erdos", "rmat"])
+def test_replay_parity_randomized_schedules(generator, graph_seed, schedule_seed):
+    """Merged panels == full recompute at every step of a random schedule."""
+    if generator == "erdos":
+        generated = erdos_renyi(90, 0.09, seed=graph_seed)
+    else:
+        generated = rmat(8, edge_factor=5, seed=graph_seed)
+    edges = shuffled(timestamped(generated.edges), schedule_seed)
+    batches = random_schedule(edges, schedule_seed, num_batches=4)
+
+    world = World(NRANKS)
+    surveys = {
+        name: StreamingSurvey(world, cls, graph_name=f"stream_{name}")
+        for name, cls in REDUCERS.items()
+    }
+    prefix: list = []
+    previous_triangles = 0
+    for batch in batches:
+        prefix = prefix + list(batch)
+        steps = {name: survey.ingest(batch) for name, survey in surveys.items()}
+        report, oracle_result = full_recompute(prefix, TriangleCounter)
+        for name, step in steps.items():
+            _oracle_report, expected = full_recompute(prefix, REDUCERS[name])
+            assert step.cumulative == expected, name
+        # Delta triangles are exactly the full-count increase of this step.
+        assert steps["triangle_count"].report.triangles == (
+            report.triangles - previous_triangles
+        )
+        previous_triangles = report.triangles
+
+
+def test_engine_parity_counters_and_panels():
+    """Legacy and columnar engines: identical counters and panels per step."""
+    generated = rmat(8, edge_factor=6, seed=7)
+    edges = shuffled(timestamped(generated.edges), 13)
+    batches = random_schedule(edges, 17, num_batches=3)
+
+    def replay(engine):
+        world = World(NRANKS)
+        survey = StreamingSurvey(
+            world, ClosureTimeSurvey, engine=engine, graph_name="parity"
+        )
+        return [survey.ingest(batch) for batch in batches]
+
+    legacy = replay("legacy")
+    columnar = replay("columnar")
+    for k, (a, b) in enumerate(zip(legacy, columnar)):
+        assert counters_of(a.report) == counters_of(b.report), f"step {k}"
+        assert a.snapshot == b.snapshot, f"step {k}"
+        assert a.cumulative == b.cumulative, f"step {k}"
+
+
+def test_engine_parity_deterministic_across_runs():
+    """Counters are a pure function of the schedule (golden determinism)."""
+    generated = erdos_renyi(70, 0.1, seed=2)
+    edges = shuffled(timestamped(generated.edges), 5)
+    batches = random_schedule(edges, 5, num_batches=3)
+
+    def replay():
+        world = World(NRANKS)
+        survey = StreamingSurvey(world, ClosureTimeSurvey, graph_name="det")
+        return [counters_of(survey.ingest(batch).report) for batch in batches]
+
+    assert replay() == replay()
+
+
+def test_cold_start_equals_full_survey():
+    """Batch 0 (everything new) replays the full push survey bit for bit."""
+    generated = rmat(8, edge_factor=6, seed=9)
+    edges = timestamped(generated.edges)
+
+    world = World(NRANKS)
+    graph = DistributedGraph(world, name="cold")
+    buffer = DeltaBuffer(world)
+    buffer.stage_edges(edges)
+    applied = buffer.apply(graph)
+    counter = TriangleCounter(world)
+    incremental = incremental_triangle_survey(
+        applied.dodgr, applied, counter.callback, engine="columnar"
+    )
+    full_report, full_count = full_recompute(edges, TriangleCounter)
+    assert counter.result() == full_count
+    assert counters_of(incremental) == counters_of(full_report)
+
+
+def test_quiet_batch_costs_nothing():
+    """A batch adding no triangle-closing edges sends no candidate bytes."""
+    world = World(NRANKS)
+    graph = DistributedGraph(world, name="quiet")
+    buffer = DeltaBuffer(world)
+    buffer.stage_edges([(1, 2, 1.0), (2, 3, 2.0), (3, 1, 3.0)])
+    survey = StreamingSurvey(world, TriangleCounter, graph_name="quiet")
+    survey.ingest([(1, 2, 1.0), (2, 3, 2.0), (3, 1, 3.0)])
+    # An edge to a brand-new pendant vertex closes nothing.
+    step = survey.ingest([(3, 99, 4.0)])
+    assert step.report.triangles == 0
+    assert step.report.wedge_checks == 0
+    assert step.report.communication_bytes == 0
+
+
+def test_window_retirement_algebra():
+    """Window = merge of the last N panels; retired panels leave exactly."""
+    generated = erdos_renyi(60, 0.12, seed=8)
+    edges = shuffled(timestamped(generated.edges), 3)
+    batches = random_schedule(edges, 9, num_batches=5)
+    world = World(NRANKS)
+    survey = StreamingSurvey(
+        world, ClosureTimeSurvey, window_batches=2, graph_name="window"
+    )
+    panels = []
+    for k, batch in enumerate(batches):
+        step = survey.ingest(batch)
+        panels.append(step.snapshot)
+        expected_window = ClosureTimeSurvey.merge(panels[-2:])
+        assert step.window == expected_window, f"step {k}"
+        assert step.cumulative == ClosureTimeSurvey.merge(panels), f"step {k}"
+        if k >= 2:
+            assert step.retired == panels[-3], f"step {k}"
+        else:
+            assert step.retired is None
+
+
+def test_mismatched_delta_rejected():
+    world = World(NRANKS)
+    graph = DistributedGraph(world, name="g")
+    buffer = DeltaBuffer(world)
+    buffer.stage_edge(1, 2)
+    first = buffer.apply(graph)
+    buffer.stage_edge(2, 3)
+    second = buffer.apply(graph)
+    with pytest.raises(ValueError):
+        incremental_triangle_survey(first.dodgr, second, None)
+    with pytest.raises(ValueError):
+        incremental_triangle_survey(second.dodgr, second, None, engine="bogus")
+
+
+def test_superseded_rebuilds_are_released():
+    """A long stream keeps one live DODGr, not one per batch."""
+    from repro.runtime.rpc import RpcError
+
+    generated = erdos_renyi(40, 0.15, seed=4)
+    edges = timestamped(generated.edges)
+    batches = random_schedule(edges, 21, num_batches=4)
+    world = World(NRANKS)
+    survey = StreamingSurvey(world, TriangleCounter, graph_name="release")
+    handles = []
+    for batch in batches:
+        survey.ingest(batch)
+        handles.append(survey.dodgr._h_offer_edge)
+    # Only the latest rebuild keeps a store slot on each rank...
+    for rank in range(NRANKS):
+        slots = [k for k in world.ranks[rank].local_state if k.startswith("dodgr:")]
+        assert len(slots) == 1
+    # ...and every superseded construction handler is tombstoned (latest not).
+    for handle in handles[:-1]:
+        with pytest.raises(RpcError):
+            world.registry.handler(handle.handler_id)
+    assert world.registry.handler(handles[-1].handler_id) is not None
+
+
+def test_merge_snapshot_contract_all_reducers():
+    """snapshot()/merge() round-trips for every stock reducer shape."""
+    world = World(2)
+    counter = TriangleCounter(world)
+    counter._per_rank[0] = 3
+    assert TriangleCounter.merge([counter.snapshot(), 4]) == 7
+    support = EdgeSupportCounter(world)
+    snap = support.snapshot()
+    assert snap == {}
+    merged = EdgeSupportCounter.merge([{("a", "b"): 1}, {("a", "b"): 2, ("b", "c"): 5}])
+    assert merged == {("a", "b"): 3, ("b", "c"): 5}

@@ -1,0 +1,71 @@
+"""The docs CI job, runnable locally: doctests and markdown link hygiene.
+
+Mirrors the `docs` job of `.github/workflows/ci.yml` so documentation rot
+fails tier-1 before it ever reaches CI.
+"""
+
+from __future__ import annotations
+
+import doctest
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import linkcheck  # noqa: E402  (repo tool, imported from tools/)
+
+
+def test_required_documents_exist():
+    for name in (
+        "README.md",
+        "docs/architecture.md",
+        "docs/reducers.md",
+        "docs/benchmarks.md",
+    ):
+        path = REPO_ROOT / name
+        assert path.is_file() and path.stat().st_size > 0, name
+
+
+def test_reducers_cookbook_doctests():
+    pytest.importorskip("numpy")
+    results = doctest.testfile(
+        str(REPO_ROOT / "docs" / "reducers.md"),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.attempted > 0, "cookbook lost its executable examples"
+    assert results.failed == 0
+
+
+def test_markdown_links_and_anchors():
+    errors = []
+    for path in linkcheck.markdown_files(REPO_ROOT):
+        errors.extend(linkcheck.check_file(path))
+    assert not errors, "\n".join(errors)
+
+
+def test_every_benchmark_named_in_readme():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    missing = [
+        path.name
+        for path in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py"))
+        if path.name not in readme
+    ]
+    assert not missing, f"benchmarks absent from README.md: {missing}"
+
+
+def test_linkcheck_catches_broken_links(tmp_path):
+    """The checker itself works: broken file links and anchors are reported."""
+    good = tmp_path / "good.md"
+    good.write_text("# A Heading\n\nsee [self](#a-heading)\n", encoding="utf-8")
+    assert linkcheck.check_file(good) == []
+    bad = tmp_path / "bad.md"
+    bad.write_text(
+        "[gone](missing.md) and [no anchor](good.md#nope)\n", encoding="utf-8"
+    )
+    errors = linkcheck.check_file(bad)
+    assert len(errors) == 2
+    assert "missing.md" in errors[0] and "nope" in errors[1]

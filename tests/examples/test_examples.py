@@ -1,0 +1,59 @@
+"""Smoke-run every script in examples/ on a tiny configuration.
+
+Each example must exit 0 and print a non-empty survey output.  Sizes are
+chosen so the whole module stays in tier-1 time budget; the point is that
+the documented entry points keep working, not that the output is large.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: Tiny CLI arguments per script (every example takes nranks first).
+SMOKE_ARGS = {
+    "quickstart.py": ["4", "8"],
+    "reddit_closure_times.py": ["4", "300", "2500"],
+    "fqdn_survey.py": ["4", "700"],
+    "clustering_and_truss.py": ["4", "400"],
+    "marketplace_metadata_survey.py": ["4", "500"],
+    "streaming_closure_times.py": ["4", "300", "2500", "3"],
+}
+
+
+def example_scripts():
+    return sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_has_smoke_args():
+    """A new example must be added to SMOKE_ARGS (and thereby smoke-run)."""
+    assert {path.name for path in example_scripts()} == set(SMOKE_ARGS)
+
+
+@pytest.mark.parametrize("script", example_scripts(), ids=lambda p: p.name)
+def test_example_runs_and_surveys(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, str(script), *SMOKE_ARGS[script.name]],
+        capture_output=True,
+        text=True,
+        timeout=180,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+    # Every example reports some survey quantity: a triangle count line or a
+    # survey summary table.
+    lowered = result.stdout.lower()
+    assert "triangle" in lowered or "survey" in lowered, result.stdout[:500]

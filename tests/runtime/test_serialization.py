@@ -210,3 +210,30 @@ class TestSizes:
     def test_deterministic_output(self):
         value = {"a": [1, 2, 3], "b": {4: (5, 6)}, "s": {7, 8, 9}}
         assert dumps(value) == dumps(value)
+
+
+class TestIntSizeArray:
+    """int_size_array replays serialized_size for whole int64 columns."""
+
+    def test_matches_scalar_across_varint_boundaries(self):
+        np = pytest.importorskip("numpy")
+        from repro.runtime.serialization import int_size_array
+
+        values = (
+            list(range(-300, 300))
+            + [2**k for k in range(1, 63)]
+            + [-(2**k) for k in range(1, 64)]
+            + [2**63 - 1, -(2**63), 12345678901234567]
+        )
+        sizes = int_size_array(np.asarray(values, dtype=np.int64))
+        assert sizes.tolist() == [serialized_size(v) for v in values]
+
+    def test_matches_scalar_on_random_int64(self):
+        np = pytest.importorskip("numpy")
+        from repro.runtime.serialization import int_size_array
+
+        rng = np.random.default_rng(42)
+        values = rng.integers(-(2**63), 2**63 - 1, size=5000, dtype=np.int64)
+        assert int_size_array(values).tolist() == [
+            serialized_size(int(v)) for v in values.tolist()
+        ]

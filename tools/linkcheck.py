@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Markdown link checker: relative links and heading anchors, stdlib only.
+
+Scans every tracked ``*.md`` file (or the files given on the command line)
+for inline links ``[text](target)`` and validates the ones this repository
+controls:
+
+* ``http(s)://`` / ``mailto:`` links are skipped (no network in CI);
+* relative file links must resolve to an existing file or directory;
+* ``#anchor`` fragments — with or without a file part — must match a heading
+  in the target document, using GitHub's slug rules (lowercase, punctuation
+  stripped, spaces to hyphens, duplicate slugs suffixed ``-1``, ``-2``, ...).
+
+Exit status is 1 when any link is broken (each one printed to stderr), 0
+when clean, so CI can simply run ``python tools/linkcheck.py``.  Used by the
+docs CI job and by ``tests/docs/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories never scanned (caches, VCS internals).
+SKIPPED_DIRS = {".git", ".pytest_cache", "__pycache__", ".claude", "node_modules"}
+
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str, seen: Dict[str, int]) -> str:
+    """GitHub's anchor slug for a heading text (with duplicate suffixing)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # strip inline code ticks
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> link text
+    slug = "".join(
+        ch for ch in text.lower() if ch.isalnum() or ch in (" ", "-", "_")
+    ).replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def heading_anchors(path: Path) -> List[str]:
+    """All valid anchors of a markdown document (code fences ignored)."""
+    seen: Dict[str, int] = {}
+    anchors: List[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            anchors.append(github_slug(match.group(2), seen))
+    return anchors
+
+
+def markdown_links(path: Path) -> Iterable[Tuple[int, str]]:
+    """(line number, target) of every inline link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> List[str]:
+    """Human-readable error strings for every broken link in ``path``."""
+    errors: List[str] = []
+    for lineno, target in markdown_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: broken link target {target!r}")
+                continue
+        else:
+            resolved = path
+        if anchor:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                continue  # anchors into non-markdown targets: not checkable
+            if anchor.lower() not in heading_anchors(resolved):
+                errors.append(
+                    f"{path}:{lineno}: broken anchor {target!r} "
+                    f"(no heading slug {anchor!r} in {resolved.name})"
+                )
+    return errors
+
+
+def markdown_files(root: Path) -> List[Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIPPED_DIRS for part in path.parts):
+            files.append(path)
+    return files
+
+
+def main(argv: List[str]) -> int:
+    targets = [Path(arg).resolve() for arg in argv] or markdown_files(REPO_ROOT)
+    errors: List[str] = []
+    for path in targets:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"linkcheck: {len(targets)} markdown files clean")
+        return 0
+    print(f"linkcheck: {len(errors)} broken links", file=sys.stderr)
+    # A count would wrap modulo 256 as an exit status (256 errors -> "0").
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
