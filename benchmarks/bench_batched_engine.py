@@ -45,7 +45,7 @@ def run_once(dataset, algorithm, batched):
         invocations.append((tri.p, tri.q, tri.r))
 
     survey = triangle_survey_push if algorithm == "push" else triangle_survey_push_pull
-    report = survey(dodgr, callback, batched=batched)
+    report = survey(dodgr, callback, engine="batched" if batched else "legacy")
     invocations.sort()
     return report, invocations
 

@@ -10,21 +10,27 @@ per-wedge Python walk, and delivers triangles to reducers as
 Contract, pinned by the parity tests below (these run before — and fail the
 CI smoke job independently of — the speedup gate):
 
-* **cross-engine** (scalar callbacks on the batched engine vs batch
-  reducers on the columnar engine): identical triangle counts, reducer
-  outputs, communicated bytes, wire messages and simulated seconds, on the
-  push path and the push-pull path (including real pulls);
+* **cross-engine**: the parity matrix iterates the *engine registry*
+  (:func:`repro.core.engine.engine_names` — so ``columnar-pull`` and any
+  future registration join automatically) against the legacy oracle:
+  identical triangle counts, reducer outputs, communicated bytes, wire
+  messages and simulated seconds, on the push path and the push-pull path
+  (including real pulls);
 * **within the columnar engine** (scalar parity oracle vs ``callback_batch``):
   bit-identical *everything*, including the counting-set increment streams
   of metadata reducers — batch reducers apply increments in scalar
   invocation order, so cache evictions land on the same triangle.
 
-The gate: columnar host time must beat the scalar-callback batched engine by
-at least 3x on the R-MAT weak-scaling stand-in, for both a bare counting
-reducer and a metadata (degree-triple) reducer.
+Two gates: columnar host time must beat the scalar-callback batched engine
+by at least 3x on the R-MAT weak-scaling stand-in (both a bare counting
+reducer and a metadata reducer), and the ISSUE 5 engine-layer refactor must
+not add more than 5% host time over driving the columnar internals directly
+(``test_engine_layer_no_regression``, recorded via ``emit_json``).
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
@@ -32,6 +38,14 @@ from _artifacts import emit, emit_json
 from repro.analysis.degree_triples import decorate_with_degrees
 from repro.bench import format_table, human_bytes, load_dataset
 from repro.core.callbacks import DegreeTripleSurvey, TriangleCounter
+from repro.core.engine import DEFAULT_CALLBACK_COMPUTE_UNITS, engine_names
+from repro.core.engine.driver import (
+    drive_columnar_push,
+    legacy_push_payload_overhead,
+    make_columnar_intersect_handler,
+    resolve_batch_callback,
+)
+from repro.core.intersection import ROW_KERNELS
 from repro.core.push_pull import triangle_survey_push_pull
 from repro.core.survey import triangle_survey_push
 from repro.graph.dodgr import DODGraph
@@ -39,6 +53,10 @@ from repro.runtime.world import World
 
 NODES = 16
 SPEEDUP_GATE = 3.0
+#: Engine-layer dispatch (registry + request + style facades) must not cost
+#: more than this fraction of host time over driving the columnar internals
+#: directly — the "before the refactor" equivalent.
+REFACTOR_REGRESSION_GATE = 0.05
 
 
 def make_counter(world):
@@ -91,53 +109,61 @@ def assert_cross_engine_parity(scalar, columnar, context):
 
 
 def test_parity_push_paths(benchmark):
-    """Push path: counting reducer parity across engines, metadata reducer
-    parity within the columnar engine (counting-set streams included)."""
+    """Push path: counting reducer parity across every *registered* engine
+    (the registry is the engine list — a newly registered engine joins this
+    matrix automatically), metadata reducer parity within the columnar
+    engine (counting-set streams included)."""
     dataset = load_dataset("rmat-weak")
 
     def run_all():
-        return {
-            "count_scalar": run_once(dataset, "push", "batched", "triangle_count"),
-            "count_columnar": run_once(dataset, "push", "columnar", "triangle_count"),
-            "degree_oracle": run_once(
-                dataset, "push", "columnar", "degree_triples", hide_batch=True
-            ),
-            "degree_columnar": run_once(dataset, "push", "columnar", "degree_triples"),
+        results = {
+            name: run_once(dataset, "push", name, "triangle_count")
+            for name in engine_names()
         }
+        results["degree_oracle"] = run_once(
+            dataset, "push", "columnar", "degree_triples", hide_batch=True
+        )
+        results["degree_columnar"] = run_once(dataset, "push", "columnar", "degree_triples")
+        return results
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    assert_cross_engine_parity(
-        results["count_scalar"], results["count_columnar"], "push/triangle_count"
-    )
+    for name in engine_names():
+        if name == "legacy":
+            continue
+        assert_cross_engine_parity(
+            results["legacy"], results[name], f"push/{name}/triangle_count"
+        )
     assert_cross_engine_parity(
         results["degree_oracle"], results["degree_columnar"], "push/degree_triples"
     )
 
 
 def test_parity_pull_path(benchmark):
-    """Push-Pull path with real pulls: same parity matrix as the push path."""
+    """Push-Pull path with real pulls: same registry-driven parity matrix."""
     dataset = load_dataset("reddit-like")
 
     def run_all():
-        return {
-            "count_scalar": run_once(dataset, "push_pull", "batched", "triangle_count"),
-            "count_columnar": run_once(
-                dataset, "push_pull", "columnar", "triangle_count"
-            ),
-            "degree_oracle": run_once(
-                dataset, "push_pull", "columnar", "degree_triples", hide_batch=True
-            ),
-            "degree_columnar": run_once(
-                dataset, "push_pull", "columnar", "degree_triples"
-            ),
+        results = {
+            name: run_once(dataset, "push_pull", name, "triangle_count")
+            for name in engine_names()
         }
+        results["degree_oracle"] = run_once(
+            dataset, "push_pull", "columnar", "degree_triples", hide_batch=True
+        )
+        results["degree_columnar"] = run_once(
+            dataset, "push_pull", "columnar", "degree_triples"
+        )
+        return results
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
     # The fixture must actually exercise the pull phase.
-    assert results["count_scalar"][0].vertices_pulled > 0
-    assert_cross_engine_parity(
-        results["count_scalar"], results["count_columnar"], "push_pull/triangle_count"
-    )
+    assert results["legacy"][0].vertices_pulled > 0
+    for name in engine_names():
+        if name == "legacy":
+            continue
+        assert_cross_engine_parity(
+            results["legacy"], results[name], f"push_pull/{name}/triangle_count"
+        )
     assert_cross_engine_parity(
         results["degree_oracle"], results["degree_columnar"], "push_pull/degree_triples"
     )
@@ -206,3 +232,121 @@ def test_columnar_speedup_gate(benchmark):
             f"columnar speedup {speedup:.2f}x on {reducer_name} "
             f"below the {SPEEDUP_GATE}x gate"
         )
+
+
+# ---------------------------------------------------------------------------
+# ISSUE 5: the engine-layer refactor must not slow the columnar push path
+# ---------------------------------------------------------------------------
+
+
+def _build_columnar_fixture(dataset):
+    """Fresh world + DODGr + counting reducer for one timed columnar run."""
+    world = World(NODES)
+    graph = dataset.to_distributed(world)
+    dodgr = DODGraph.build(graph, mode="bulk")
+    reducer = TriangleCounter(world)
+    return world, dodgr, reducer
+
+
+def run_columnar_direct(dataset):
+    """Drive the columnar push internals directly — the pre-refactor shape.
+
+    Registers the columnar intersect handler and runs the columnar drive
+    loop by hand, bypassing the engine layer's registry resolution, request
+    construction and style dispatch.  This is exactly the work the
+    pre-refactor ``triangle_survey_push(engine="columnar")`` did, so the
+    delta against :func:`run_columnar_engine` isolates the refactor's
+    dispatch overhead.
+    """
+    world, dodgr, reducer = _build_columnar_fixture(dataset)
+    world.reset_stats()
+    handler = world.register_handler(
+        make_columnar_intersect_handler(
+            dodgr,
+            ROW_KERNELS["merge_path"],
+            reducer.callback,
+            resolve_batch_callback(reducer.callback),
+            DEFAULT_CALLBACK_COMPUTE_UNITS,
+        )
+    )
+    overhead = legacy_push_payload_overhead(handler.handler_id)
+    host_start = time.perf_counter()
+    world.begin_phase("push")
+    for ctx in world.ranks:
+        drive_columnar_push(ctx, dodgr, dodgr.csr(ctx), handler, overhead)
+    world.barrier()
+    host_seconds = time.perf_counter() - host_start
+    return host_seconds, reducer.result()
+
+
+def run_columnar_engine(dataset):
+    """The post-refactor path: the public entry point through the engine layer."""
+    world, dodgr, reducer = _build_columnar_fixture(dataset)
+    report = triangle_survey_push(dodgr, reducer.callback, engine="columnar")
+    return report.host_seconds, reducer.result(), report
+
+
+def test_engine_layer_no_regression(benchmark):
+    """Columnar push before vs after the refactor: <= 5% host-time overhead.
+
+    "Before" is the direct drive of the columnar internals (handler
+    registration + drive loop, no engine-layer dispatch) — the code shape
+    ``core/survey.py`` had before the engine layer; "after" is the public
+    ``engine="columnar"`` entry point.  Interleaved best-of-3 per side
+    suppresses scheduler noise; triangle counts must agree exactly.
+    """
+    dataset = load_dataset("rmat-weak")
+    rounds = 3
+
+    def run_all():
+        direct_times, engine_times = [], []
+        direct_count = engine_count = None
+        for _ in range(rounds):
+            host, count = run_columnar_direct(dataset)
+            direct_times.append(host)
+            direct_count = count
+            host, count, _report = run_columnar_engine(dataset)
+            engine_times.append(host)
+            engine_count = count
+        return direct_times, engine_times, direct_count, engine_count
+
+    direct_times, engine_times, direct_count, engine_count = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    assert direct_count == engine_count
+
+    direct_best = min(direct_times)
+    engine_best = min(engine_times)
+    overhead = engine_best / direct_best - 1.0
+    trajectory = {
+        "dataset": dataset.name,
+        "nodes": NODES,
+        "rounds": rounds,
+        "direct_host_seconds": direct_best,
+        "engine_host_seconds": engine_best,
+        "overhead_fraction": overhead,
+        "gate_fraction": REFACTOR_REGRESSION_GATE,
+        "triangles": direct_count,
+    }
+    emit_json("bench_engine_refactor", trajectory)
+    emit(
+        format_table(
+            [
+                {
+                    "path": "direct columnar drive (pre-refactor shape)",
+                    "host seconds": round(direct_best, 4),
+                },
+                {
+                    "path": "engine layer (engine=\"columnar\")",
+                    "host seconds": round(engine_best, 4),
+                },
+                {"path": f"overhead {overhead * 100:+.2f}%"},
+            ],
+            title="Engine-layer refactor — columnar push no-regression",
+        )
+    )
+    benchmark.extra_info.update(trajectory)
+    assert overhead <= REFACTOR_REGRESSION_GATE, (
+        f"engine layer adds {overhead * 100:.2f}% host time over the direct "
+        f"columnar drive (gate: {REFACTOR_REGRESSION_GATE * 100:.0f}%)"
+    )

@@ -14,10 +14,12 @@ Expected shape (paper):
   node counts in the paper) and negligible-to-negative on Friendster-like
   social graphs, where the dry-run overhead can make Push-Pull slower.
 
-Run with ``--engine {legacy,batched,columnar}`` to regenerate the table on
-any survey engine; the communicated-bytes columns (and every other result
-column) are identical across engines by the equivalence contract, so the
-engine choice only changes how long the regeneration takes.
+Run with ``--engine <name>`` — any engine registered in
+:mod:`repro.core.engine` (``legacy``, ``batched``, ``columnar``,
+``columnar-pull``, ...) — to regenerate the table on that survey engine; the
+communicated-bytes columns (and every other result column) are identical
+across engines by the equivalence contract, so the engine choice only
+changes how long the regeneration takes.
 """
 
 from __future__ import annotations

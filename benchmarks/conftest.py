@@ -16,6 +16,7 @@ from __future__ import annotations
 import pytest
 
 from _artifacts import reset_artifacts
+from repro.core.engine import engine_names
 
 
 def pytest_addoption(parser):
@@ -23,10 +24,11 @@ def pytest_addoption(parser):
         "--engine",
         action="store",
         default="legacy",
-        choices=("legacy", "batched", "columnar"),
+        choices=engine_names(),
         help=(
             "Survey execution engine the paper-table benchmarks run on "
-            "(default: legacy).  Every engine reproduces identical result "
+            "(default: legacy); choices come from the engine registry "
+            "(repro.core.engine).  Every engine reproduces identical result "
             "columns — communicated bytes included — so the tables can be "
             "regenerated on any of them."
         ),
@@ -35,7 +37,7 @@ def pytest_addoption(parser):
 
 @pytest.fixture(scope="session")
 def survey_engine(request):
-    """Engine selected with ``--engine {legacy,batched,columnar}``."""
+    """Engine selected with ``--engine`` (any registered engine name)."""
     return request.config.getoption("--engine")
 
 

@@ -46,13 +46,17 @@ from .core import (
     ClosureTimeSurvey,
     DegreeTripleSurvey,
     EdgeSupportCounter,
+    EngineConfig,
+    EngineSpec,
     FqdnTripleSurvey,
     LocalTriangleCounter,
     MaxEdgeLabelDistribution,
     StreamingSurvey,
     SurveyReport,
     TriangleCounter,
+    engine_names,
     incremental_triangle_survey,
+    register_engine,
     triangle_survey,
     triangle_survey_push,
     triangle_survey_push_pull,
@@ -103,6 +107,10 @@ __all__ = [
     "triangle_survey_push",
     "triangle_survey_push_pull",
     "incremental_triangle_survey",
+    "EngineSpec",
+    "EngineConfig",
+    "register_engine",
+    "engine_names",
     "StreamingSurvey",
     "DeltaBuffer",
     "AppliedDelta",

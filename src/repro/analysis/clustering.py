@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional, Tuple
 
 from ..core.callbacks import EdgeSupportCounter, LocalTriangleCounter
+from ..core.engine import EngineSelector, default_engine
 from ..core.push_pull import triangle_survey_push_pull
 from ..core.results import SurveyReport
 from ..core.survey import triangle_survey_push
@@ -64,8 +65,9 @@ def _run(
     callback,
     algorithm: str,
     graph_name: Optional[str],
-    engine: str = "columnar",
+    engine: EngineSelector = "columnar",
 ) -> SurveyReport:
+    engine = default_engine(engine, "columnar")
     if algorithm == "push":
         return triangle_survey_push(dodgr, callback, graph_name=graph_name, engine=engine)
     if algorithm == "push_pull":
@@ -80,12 +82,14 @@ def run_clustering_coefficients(
     dodgr: Optional[DODGraph] = None,
     algorithm: str = "push_pull",
     graph_name: Optional[str] = None,
-    engine: str = "columnar",
+    engine: EngineSelector = "columnar",
 ) -> ClusteringResult:
     """Compute per-vertex clustering coefficients with a local-count survey.
 
     Runs on the columnar engine by default — the per-vertex counts flow
-    through :meth:`LocalTriangleCounter.callback_batch`.
+    through :meth:`LocalTriangleCounter.callback_batch`.  ``engine`` accepts
+    any registered engine name or an
+    :class:`~repro.core.engine.EngineConfig`.
     """
     world = graph.world
     if dodgr is None:
@@ -110,7 +114,7 @@ def run_truss_support(
     dodgr: Optional[DODGraph] = None,
     algorithm: str = "push_pull",
     graph_name: Optional[str] = None,
-    engine: str = "columnar",
+    engine: EngineSelector = "columnar",
 ) -> TrussResult:
     """Compute per-edge triangle support (truss decomposition input)."""
     world = graph.world

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
 from ..core.callbacks import DegreeTripleSurvey
+from ..core.engine import EngineSelector, default_engine
 from ..core.push_pull import triangle_survey_push_pull
 from ..core.results import SurveyReport
 from ..core.survey import triangle_survey_push
@@ -63,10 +64,15 @@ def run_degree_triple_survey(
     algorithm: str = "push_pull",
     graph_name: Optional[str] = None,
     already_decorated: bool = False,
-    engine: str = "columnar",
+    engine: EngineSelector = "columnar",
 ) -> DegreeTripleResult:
-    """Decorate with degrees (unless told otherwise) and run the triple survey."""
+    """Decorate with degrees (unless told otherwise) and run the triple survey.
+
+    ``engine`` accepts any registered engine name or an
+    :class:`~repro.core.engine.EngineConfig`.
+    """
     world = graph.world
+    engine = default_engine(engine, "columnar")
     decorated = graph if already_decorated else decorate_with_degrees(graph)
     if dodgr is None:
         dodgr = DODGraph.build(decorated, mode="bulk")

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.callbacks import FqdnTripleSurvey
+from ..core.engine import EngineSelector, default_engine
 from ..core.incremental import StreamingSurvey
 from ..core.push_pull import triangle_survey_push_pull
 from ..core.results import SurveyReport
@@ -95,13 +96,16 @@ def run_fqdn_survey(
     dodgr: Optional[DODGraph] = None,
     algorithm: str = "push_pull",
     graph_name: Optional[str] = None,
-    engine: str = "columnar",
+    engine: EngineSelector = "columnar",
 ) -> FqdnSurveyResult:
     """Run the distributed FQDN 3-tuple survey.
 
     Vertex metadata of ``graph`` must be the FQDN string of each page.
+    ``engine`` accepts any registered engine name or an
+    :class:`~repro.core.engine.EngineConfig`.
     """
     world = graph.world
+    engine = default_engine(engine, "columnar")
     if dodgr is None:
         dodgr = DODGraph.build(graph, mode="bulk")
     survey = FqdnTripleSurvey(world)
@@ -143,7 +147,7 @@ def run_streaming_fqdn_survey(
     batches: Iterable[Iterable[tuple]],
     vertex_meta: Optional[Dict[Any, str]] = None,
     window_batches: Optional[int] = None,
-    engine: Optional[str] = None,
+    engine: Optional[EngineSelector] = None,
     graph_name: Optional[str] = None,
 ) -> List[StreamingFqdnStep]:
     """Sliding-window variant of :func:`run_fqdn_survey` for crawl streams.

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
 from ..core.callbacks import EdgeSupportCounter
+from ..core.engine import EngineSelector, default_engine
 from ..core.push_pull import triangle_survey_push_pull
 from ..core.results import SurveyReport
 from ..core.survey import triangle_survey_push
@@ -69,7 +70,7 @@ def truss_decomposition(
     dodgr: Optional[DODGraph] = None,
     algorithm: str = "push_pull",
     graph_name: Optional[str] = None,
-    engine: str = "columnar",
+    engine: EngineSelector = "columnar",
 ) -> TrussDecomposition:
     """Compute the trussness of every edge of ``graph``.
 
@@ -88,6 +89,7 @@ def truss_decomposition(
     former hot spot of the decomposition.
     """
     world = graph.world
+    engine = default_engine(engine, "columnar")
     if dodgr is None:
         dodgr = DODGraph.build(graph, mode="bulk")
 

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..core.engine import EngineSelector
 from ..core.push_pull import triangle_survey_push_pull
 from ..core.results import SurveyReport
 from ..core.survey import triangle_survey_push
@@ -94,13 +95,15 @@ def run_survey_at_scale(
     algorithm: str = "push_pull",
     callback_factory: Optional[CallbackFactory] = None,
     decorate: Optional[Callable[[DistributedGraph], DistributedGraph]] = None,
-    engine: Optional[str] = None,
+    engine: Optional[EngineSelector] = None,
 ) -> ScalingPoint:
     """Distribute ``dataset`` over ``nodes`` ranks and run one survey.
 
-    ``engine`` selects the survey execution engine (``legacy`` — the
-    default, ``batched``, ``columnar``); every engine produces identical
-    reports, so the paper figures can be regenerated on any of them.
+    ``engine`` selects the survey execution engine: any registered engine
+    name (``legacy`` — the default, ``batched``, ``columnar``,
+    ``columnar-pull``) or an :class:`~repro.core.engine.EngineConfig`;
+    every engine produces identical reports, so the paper figures can be
+    regenerated on any of them.
     """
     world = World(nodes)
     graph = dataset.to_distributed(world)
@@ -141,7 +144,7 @@ def strong_scaling(
     algorithm: str = "push_pull",
     callback_factory: Optional[CallbackFactory] = None,
     decorate: Optional[Callable[[DistributedGraph], DistributedGraph]] = None,
-    engine: Optional[str] = None,
+    engine: Optional[EngineSelector] = None,
 ) -> ScalingResult:
     """Fixed dataset, growing node counts (Figs. 4 and 7, Tables 3 and 4)."""
     result = ScalingResult(dataset=dataset.name, algorithm=algorithm)
@@ -167,7 +170,7 @@ def weak_scaling_rmat(
     callback_factory: Optional[CallbackFactory] = None,
     decorate: Optional[Callable[[DistributedGraph], DistributedGraph]] = None,
     seed: int = 99,
-    engine: Optional[str] = None,
+    engine: Optional[EngineSelector] = None,
 ) -> ScalingResult:
     """R-MAT weak scaling: one R-MAT scale step per node-count doubling (Figs. 5/9).
 

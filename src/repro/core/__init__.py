@@ -10,6 +10,12 @@ The primary entry points are:
   optimisation (Section 4.4);
 * the callback classes in :mod:`repro.core.callbacks` implementing the
   paper's surveys (counting, closure times, FQDN tuples, degree triples...).
+
+Survey execution is owned by the engine layer in :mod:`repro.core.engine`:
+engines are registered :class:`~repro.core.engine.EngineSpec` compositions
+resolved by name (``engine="legacy"/"batched"/"columnar"/"columnar-pull"``)
+or through an :class:`~repro.core.engine.EngineConfig`, the one selector
+threaded through ``analysis/*``, ``bench/*`` and the benchmark CLIs.
 """
 
 from .approximate import ApproximateCount, approximate_triangle_count, sparsify_graph
@@ -24,6 +30,17 @@ from .callbacks import (
     log2_bucket,
     log2_bucket_array,
     merge_count_dicts,
+)
+from .engine import (
+    EngineConfig,
+    EngineSpec,
+    SurveyRequest,
+    SurveyResult,
+    engine_names,
+    execute_survey,
+    register_engine,
+    registered_engines,
+    resolve_engine,
 )
 from .incremental import (
     DELTA_PUSH_PHASE,
@@ -89,6 +106,15 @@ __all__ = [
     "BATCH_KERNELS",
     "ROW_KERNELS",
     "SURVEY_ENGINES",
+    "EngineSpec",
+    "EngineConfig",
+    "SurveyRequest",
+    "SurveyResult",
+    "register_engine",
+    "resolve_engine",
+    "registered_engines",
+    "engine_names",
+    "execute_survey",
     "resolve_batch_callback",
     "wedge_count",
     "per_rank_wedge_counts",

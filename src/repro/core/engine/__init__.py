@@ -1,0 +1,116 @@
+"""Unified survey-execution layer: engine registry + shared driver core.
+
+The paper's survey abstraction is *one* algorithm with interchangeable
+communication strategies (push vs. pull, Table 4).  This package owns
+survey execution end to end:
+
+* :mod:`~repro.core.engine.registry` — the :class:`EngineSpec` table:
+  engines are declared as data (:func:`register_engine`) composing the
+  shared strategy implementations, and resolved with
+  :func:`resolve_engine`;
+* :mod:`~repro.core.engine.request` — the :class:`SurveyRequest` /
+  :class:`SurveyResult` pair and the caller-facing :class:`EngineConfig`
+  selector threaded through ``analysis/*``, ``bench/*`` and the CLIs;
+* :mod:`~repro.core.engine.driver` / :mod:`~repro.core.engine.pull` /
+  :mod:`~repro.core.engine.delta` — the shared driver core: candidate
+  stream construction over ``CSRAdjacency``/``RowAdjacency``, intersect
+  handler setup, :class:`~repro.graph.metadata.TriangleBatch` delivery via
+  :func:`resolve_batch_callback`, and bulk wire accounting that keeps every
+  engine byte-identical on Table 4;
+* :mod:`~repro.core.engine.segments` — the shared ragged-array utilities;
+* :mod:`~repro.core.engine.push` / :mod:`~repro.core.engine.push_pull` —
+  the Push-Only and Push-Pull runners, one driver loop each.
+
+``repro.core.survey``, ``repro.core.push_pull`` and
+``repro.core.incremental`` are thin entry points over this layer.
+
+Adding an engine
+----------------
+
+Register a new composition — no new driver loop::
+
+    from repro.core.engine import EngineSpec, register_engine
+
+    register_engine(EngineSpec(
+        name="my-engine",
+        description="batched pushes, columnar pull",
+        push_style="batched", pull_style="columnar",
+        proposal_style="batched", requires_numpy=True, fallback="batched",
+    ))
+
+The ``columnar-pull`` engine shipped here is exactly such a registration;
+``tools/check_engines.py`` smoke-checks that every registered engine stays
+on the equivalence contract (identical reducer panels, byte-identical wire
+totals), and the cross-engine property suite
+(``tests/properties/test_property_engines.py``) pins it on random graphs.
+"""
+
+from __future__ import annotations
+
+from .registry import (
+    EngineSpec,
+    engine_names,
+    incremental_engine_names,
+    register_engine,
+    registered_engines,
+    resolve_engine,
+    resolve_incremental_engine,
+)
+from .request import (
+    DEFAULT_CALLBACK_COMPUTE_UNITS,
+    DELTA_PUSH_PHASE,
+    DRY_RUN_PHASE,
+    PULL_PHASE,
+    PUSH_PHASE,
+    EngineConfig,
+    EngineSelector,
+    SurveyRequest,
+    SurveyResult,
+    TriangleCallback,
+    default_engine,
+    split_engine_selector,
+)
+from .driver import resolve_batch_callback
+from .push import run_push_survey
+from .push_pull import run_push_pull_survey
+
+__all__ = [
+    "EngineSpec",
+    "EngineConfig",
+    "EngineSelector",
+    "SurveyRequest",
+    "SurveyResult",
+    "TriangleCallback",
+    "register_engine",
+    "resolve_engine",
+    "resolve_incremental_engine",
+    "registered_engines",
+    "engine_names",
+    "incremental_engine_names",
+    "split_engine_selector",
+    "default_engine",
+    "resolve_batch_callback",
+    "run_push_survey",
+    "run_push_pull_survey",
+    "execute_survey",
+    "DEFAULT_CALLBACK_COMPUTE_UNITS",
+    "PUSH_PHASE",
+    "DRY_RUN_PHASE",
+    "PULL_PHASE",
+    "DELTA_PUSH_PHASE",
+]
+
+
+def execute_survey(request: SurveyRequest, engine=None) -> SurveyResult:
+    """Run ``request`` on the engine it (or ``engine``) selects.
+
+    The request's ``algorithm`` picks the runner (``"push"`` or
+    ``"push_pull"``); ``engine`` may be anything
+    :func:`resolve_engine` accepts and defaults to the legacy engine.
+    """
+    spec = resolve_engine(engine)
+    if request.algorithm == "push":
+        return run_push_survey(request, spec)
+    if request.algorithm == "push_pull":
+        return run_push_pull_survey(request, spec)
+    raise ValueError(f"unknown survey algorithm {request.algorithm!r}")

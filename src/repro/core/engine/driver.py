@@ -1,0 +1,586 @@
+"""Shared driver core: the push-side machinery every engine composes.
+
+One survey algorithm, interchangeable communication strategies — this
+module holds the strategy implementations the :class:`~repro.core.engine.registry.EngineSpec`
+table composes:
+
+* **handler factories** build the owner-side RPC handler that intersects a
+  candidate stream against ``Adj^m_+(q)`` and delivers the closing
+  triangles to the user callback (scalar) or its ``callback_batch``
+  counterpart (columnar :class:`~repro.graph.metadata.TriangleBatch`);
+* **drivers** walk one rank's pivots and generate its candidate stream at
+  the engine's granularity — one RPC per wedge (legacy), per (destination
+  rank, target vertex) group (batched), or per (source rank, destination
+  rank) pair (columnar) — while accounting every *replaced* legacy message
+  at its exact serialized size (``account_rpc``/``account_rpc_bulk``
+  against the real buffer bank), which is what keeps Table 4 byte-identical
+  across engines.
+
+The style-keyed facades :func:`make_push_intersect_handler` and
+:func:`drive_push` are what the engine runners call; everything else is the
+composition material.  Before the engine layer existed this code lived in
+``core/survey.py`` with near-copies of the legacy handler and driver in
+``core/push_pull.py`` — those copies are gone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...graph.degree import order_key
+from ...graph.dodgr import CSRAdjacency, DODGraph, entry_key
+from ...graph.metadata import TriangleBatch, TriangleMetadata
+from ...runtime.serialization import serialized_size, uvarint_size, uvarint_size_array
+from ..intersection import (
+    BATCH_KERNELS,
+    INTERSECTION_KERNELS,
+    ROW_KERNELS,
+    RowAdjacency,
+)
+from .request import TriangleCallback
+from .segments import concat_segments
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the list fallback
+    _np = None
+
+__all__ = [
+    "candidate_key",
+    "row_adjacency",
+    "legacy_push_payload_overhead",
+    "resolve_batch_callback",
+    "deliver_batch",
+    "columnar_push_batch",
+    "make_legacy_intersect_handler",
+    "make_batched_intersect_handler",
+    "make_columnar_intersect_handler",
+    "make_push_intersect_handler",
+    "drive_legacy_push",
+    "drive_batched_push",
+    "drive_columnar_push",
+    "drive_push",
+    "PUSH_STYLES",
+]
+
+#: The push-side strategies the engine registry can compose.
+PUSH_STYLES = ("legacy", "batched", "columnar")
+
+
+def candidate_key(candidate: tuple) -> tuple:
+    """Sort key of a pushed candidate entry (r, d_r, meta_pr[, meta_r])."""
+    return order_key(candidate[0], candidate[1])
+
+
+def resolve_batch_callback(callback: Optional["TriangleCallback"]):
+    """The batch counterpart of ``callback``, or None for scalar-only callbacks.
+
+    Two spellings engage columnar delivery: a ``callback_batch`` attribute on
+    the callable itself, or — the reducer convention of
+    :mod:`repro.core.callbacks` — passing a bound ``reducer.callback`` whose
+    owner also defines ``callback_batch``.  Anything else (plain lambdas,
+    wrapped callables) runs through the scalar fallback, one
+    :class:`~repro.graph.metadata.TriangleMetadata` at a time.
+
+    A subclass that overrides ``callback`` without overriding
+    ``callback_batch`` does NOT engage the inherited batch method: the two
+    entry points are a contract pair, and silently running the base class's
+    batch aggregation against a specialised scalar callback would change
+    results.  The walk below finds whichever of the pair is defined closest
+    to the instance's class; a scalar override at or below the batch
+    definition forces the scalar fallback.
+    """
+    if callback is None:
+        return None
+    batch = getattr(callback, "callback_batch", None)
+    if callable(batch):
+        return batch
+    owner = getattr(callback, "__self__", None)
+    if owner is not None and getattr(owner, "callback", None) == callback:
+        for klass in type(owner).__mro__:
+            if "callback_batch" in klass.__dict__:
+                batch = getattr(owner, "callback_batch", None)
+                return batch if callable(batch) else None
+            if "callback" in klass.__dict__:
+                return None
+    return None
+
+
+def row_adjacency(csr: CSRAdjacency, order_count: int) -> RowAdjacency:
+    """The CSR's cached :class:`RowAdjacency` view for the row kernels."""
+    cached = csr.row_adj_cache
+    if cached is None:
+        indptr = csr.columns().indptr if _np is not None else csr.indptr
+        cached = RowAdjacency(csr.tgt_ids, indptr, order_count)
+        csr.row_adj_cache = cached
+    return cached
+
+
+def legacy_push_payload_overhead(handler_id: int) -> int:
+    """Fixed serialized bytes of a legacy push RPC around its variable parts.
+
+    A legacy wedge message is ``dumps((handler_id, [q, p, meta_p, meta_pq,
+    candidates]))``: 2 framing bytes for the outer pair, the handler id, 2
+    framing bytes for the argument list, and 1 tag byte for the candidate
+    list (whose length prefix and entries are accounted per wedge).
+    """
+    return 5 + serialized_size(handler_id)
+
+
+# ---------------------------------------------------------------------------
+# Legacy engine: one sized RPC per wedge, scalar intersection
+# ---------------------------------------------------------------------------
+
+
+def make_legacy_intersect_handler(
+    dodgr: DODGraph,
+    intersect,
+    callback: Optional["TriangleCallback"],
+    per_triangle_compute: int,
+):
+    """Build the owner-side handler of one per-wedge candidate push.
+
+    Executed on Rank(q): intersect the pushed candidates with ``Adj^m_+(q)``
+    and run the callback for every match.  Before the engine layer this
+    closure was written out twice — once in the Push-Only driver, once in
+    the Push-Pull push phase.
+    """
+
+    def _intersect_handler(
+        ctx,
+        q: Any,
+        p: Any,
+        meta_p: Any,
+        meta_pq: Any,
+        candidates: List[tuple],
+    ) -> None:
+        record = dodgr.local_store(ctx).get(q)
+        ctx.add_counter("wedge_checks", len(candidates))
+        if record is None:
+            return
+        adjacency = record["adj"]
+        meta_q = record["meta"]
+        result = intersect(candidates, adjacency, candidate_key, entry_key)
+        ctx.add_compute(result.comparisons)
+        for cand_idx, adj_idx in result.matches:
+            r, _d_r, meta_pr = candidates[cand_idx]
+            _, _, meta_qr, meta_r = adjacency[adj_idx]
+            ctx.add_counter("triangles_found", 1)
+            if callback is not None:
+                ctx.add_compute(per_triangle_compute)
+                callback(
+                    ctx,
+                    TriangleMetadata(
+                        p=p,
+                        q=q,
+                        r=r,
+                        meta_p=meta_p,
+                        meta_q=meta_q,
+                        meta_r=meta_r,
+                        meta_pq=meta_pq,
+                        meta_pr=meta_pr,
+                        meta_qr=meta_qr,
+                    ),
+                )
+
+    return _intersect_handler
+
+
+def drive_legacy_push(ctx, dodgr: DODGraph, handler, allowed=None) -> None:
+    """Walk one rank's pivots, one sized RPC per wedge (the scalar reference).
+
+    ``allowed`` restricts targets (the Push-Pull push phase skips targets
+    that will be pulled); ``None`` pushes to every target.
+    """
+    store = dodgr.local_store(ctx)
+    for p, record in store.items():
+        adjacency = record["adj"]
+        if len(adjacency) < 2:
+            continue
+        meta_p = record["meta"]
+        for i in range(len(adjacency) - 1):
+            q, _d_q, meta_pq, _meta_q = adjacency[i]
+            if allowed is not None and q not in allowed:
+                continue
+            # Candidate entries drop meta(r): Rank(q) already stores
+            # meta(r) in Adj^m_+(q) whenever Δpqr exists (Section 4.3).
+            candidates = [
+                (entry[0], entry[1], entry[2]) for entry in adjacency[i + 1 :]
+            ]
+            # Sized delivery: exact legacy wire accounting, no codec run
+            # for what is (in-process) an accounting-only payload.
+            ctx.async_call_sized(dodgr.owner(q), handler, q, p, meta_p, meta_pq, candidates)
+
+
+# ---------------------------------------------------------------------------
+# Batched engine internals
+# ---------------------------------------------------------------------------
+
+
+def make_batched_intersect_handler(
+    dodgr: DODGraph,
+    batch_kernel,
+    callback: Optional["TriangleCallback"],
+    per_triangle_compute: int,
+):
+    """Build the owner-side handler of one batched candidate push.
+
+    The handler receives every wedge a source rank generated for one target
+    vertex ``q``: ``rows``/``qpositions`` locate the pivots and their ``q``
+    entries inside the *source* rank's :class:`CSRAdjacency`, and each
+    pivot's candidate suffix is the edge range after ``qpositions[w]``.  All
+    suffixes are intersected against ``Adj^m_+(q)`` in one batch-kernel
+    call; matches close triangles exactly as in the legacy handler.
+    """
+
+    def _batched_intersect_handler(
+        ctx,
+        q: Any,
+        src_csr: CSRAdjacency,
+        rows: List[int],
+        qpositions: List[int],
+    ) -> None:
+        starts = [pos + 1 for pos in qpositions]
+        ends = [src_csr.indptr[row + 1] for row in rows]
+        ctx.add_counter(
+            "wedge_checks", sum(end - start for start, end in zip(starts, ends))
+        )
+        dest_csr = dodgr.csr(ctx)
+        q_row = dest_csr.row_of(q)
+        if q_row is None:
+            return
+        adj_lo, adj_hi = dest_csr.row_slice(q_row)
+        candidate_ids, offsets = concat_segments(src_csr.tgt_ids, starts, ends)
+        result = batch_kernel(candidate_ids, offsets, dest_csr.tgt_ids[adj_lo:adj_hi])
+        ctx.add_compute(result.comparisons)
+        if not result.matches:
+            return
+        # Counter totals are phase-aggregate, so one bulk update per batch
+        # replaces two Python calls per triangle.
+        ctx.add_counter("triangles_found", len(result.matches))
+        if callback is None:
+            return
+        ctx.add_compute(per_triangle_compute * len(result.matches))
+        meta_q = dest_csr.row_meta[q_row]
+        for wedge, cand_idx, adj_idx in result.matches:
+            r, _d_r, meta_pr, _ = src_csr.entries[starts[wedge] + cand_idx]
+            _, _, meta_qr, meta_r = dest_csr.entries[adj_lo + adj_idx]
+            row = rows[wedge]
+            callback(
+                ctx,
+                TriangleMetadata(
+                    p=src_csr.row_vertices[row],
+                    q=q,
+                    r=r,
+                    meta_p=src_csr.row_meta[row],
+                    meta_q=meta_q,
+                    meta_r=meta_r,
+                    meta_pq=src_csr.entries[qpositions[wedge]][2],
+                    meta_pr=meta_pr,
+                    meta_qr=meta_qr,
+                ),
+            )
+
+    return _batched_intersect_handler
+
+
+def drive_batched_push(
+    ctx,
+    csr: CSRAdjacency,
+    handler,
+    payload_overhead: int,
+    allowed=None,
+) -> None:
+    """Walk one rank's pivots, accounting and coalescing its candidate pushes.
+
+    Every wedge is accounted (in legacy iteration order, so buffer flush
+    boundaries replay exactly) via ``ctx.account_rpc`` with the precise
+    serialized size of the per-wedge message it replaces, then appended to
+    its ``(destination rank, q)`` group; one batched RPC per group follows.
+    ``allowed`` restricts targets (the Push-Pull push phase skips targets
+    that will be pulled); ``None`` pushes to every target.
+    """
+    groups: Dict[Tuple[int, Any], Tuple[List[int], List[int], List[int]]] = {}
+    indptr = csr.indptr
+    entries = csr.entries
+    owners = csr.tgt_owner
+    tgt_sizes = csr.tgt_wire_sizes
+    row_sizes = csr.row_wire_sizes
+    for row in range(csr.num_rows):
+        lo, hi = indptr[row], indptr[row + 1]
+        if hi - lo < 2:
+            continue
+        row_overhead = payload_overhead + row_sizes[row]
+        for pos in range(lo, hi - 1):
+            q = entries[pos][0]
+            if allowed is not None and q not in allowed:
+                continue
+            dest = owners[pos]
+            size = (
+                row_overhead
+                + tgt_sizes[pos]
+                + uvarint_size(hi - 1 - pos)
+                + csr.suffix_wire_bytes(pos, hi)
+            )
+            ctx.account_rpc(dest, size)
+            group = groups.get((dest, q))
+            if group is None:
+                groups[(dest, q)] = group = ([], [], [0])
+            group[0].append(row)
+            group[1].append(pos)
+            group[2][0] += size
+    for (dest, q), (rows, qpositions, (group_bytes,)) in groups.items():
+        ctx.async_call_batched(
+            dest,
+            handler,
+            q,
+            csr,
+            rows,
+            qpositions,
+            virtual_rpcs=len(rows),
+            virtual_bytes=group_bytes,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Columnar engine internals
+# ---------------------------------------------------------------------------
+
+
+def columnar_push_batch(
+    src_csr: CSRAdjacency,
+    dest_csr: CSRAdjacency,
+    rows,
+    qpositions,
+    q_rows,
+    flat_src_pos,
+    result,
+) -> TriangleBatch:
+    """Wrap one columnar intersect result as a lazy :class:`TriangleBatch`.
+
+    Only the small per-match index lists are materialised eagerly; each
+    metadata column decodes from the CSR entry tuples on first read.
+    """
+    wedge = result.seg
+    src_pos = flat_src_pos[result.cand_pos]
+    if hasattr(wedge, "tolist"):
+        p_rows = rows[wedge].tolist()
+        q_pos = qpositions[wedge].tolist()
+        qrow_list = q_rows[wedge].tolist()
+        src_pos = src_pos.tolist()
+        adj_pos = result.adj_pos.tolist()
+    else:  # scalar row-kernel results carry plain lists (small-input cutoff)
+        p_rows = [rows[w] for w in wedge]
+        q_pos = [qpositions[w] for w in wedge]
+        qrow_list = [q_rows[w] for w in wedge]
+        src_pos = list(src_pos)
+        adj_pos = list(result.adj_pos)
+    src_entries = src_csr.entries
+    dest_entries = dest_csr.entries
+    builders = {
+        "p": lambda: [src_csr.row_vertices[row] for row in p_rows],
+        "meta_p": lambda: [src_csr.row_meta[row] for row in p_rows],
+        "q": lambda: [dest_csr.row_vertices[row] for row in qrow_list],
+        "meta_q": lambda: [dest_csr.row_meta[row] for row in qrow_list],
+        "meta_pq": lambda: [src_entries[pos][2] for pos in q_pos],
+        "r": lambda: [src_entries[pos][0] for pos in src_pos],
+        "meta_pr": lambda: [src_entries[pos][2] for pos in src_pos],
+        "meta_qr": lambda: [dest_entries[pos][2] for pos in adj_pos],
+        "meta_r": lambda: [dest_entries[pos][3] for pos in adj_pos],
+    }
+    return TriangleBatch(len(src_pos), builders)
+
+
+def deliver_batch(ctx, batch, callback, batch_callback) -> None:
+    """Hand a triangle batch to the reducer: columnar when it can, scalar else."""
+    if batch_callback is not None:
+        batch_callback(ctx, batch)
+    else:
+        for tri in batch.triangles():
+            callback(ctx, tri)
+
+
+def make_columnar_intersect_handler(
+    dodgr: DODGraph,
+    row_kernel,
+    callback: Optional["TriangleCallback"],
+    batch_callback,
+    per_triangle_compute: int,
+):
+    """Build the owner-side handler of one columnar candidate push.
+
+    The handler receives *every* wedge a source rank generated for targets
+    this rank owns — one RPC per (source, destination) pair — as two index
+    arrays into the source's :class:`CSRAdjacency`.  All candidate suffixes
+    are intersected against their respective ``Adj^m_+(q)`` rows in one
+    row-kernel call, and the resulting triangles are delivered to the
+    reducer as one :class:`~repro.graph.metadata.TriangleBatch`.
+    """
+
+    def _columnar_intersect_handler(ctx, src_csr: CSRAdjacency, rows, qpositions) -> None:
+        src_cols = src_csr.columns()
+        starts = qpositions + 1
+        ends = src_cols.indptr[rows + 1]
+        seg_lengths = ends - starts
+        total = int(seg_lengths.sum())
+        ctx.add_counter("wedge_checks", total)
+        dest_csr = dodgr.csr(ctx)
+        q_rows = dodgr.rows_by_order_id()[src_csr.tgt_ids[qpositions]]
+        offsets = _np.concatenate(([0], _np.cumsum(seg_lengths)))
+        flat_src_pos = _np.arange(total, dtype=_np.int64) + _np.repeat(
+            starts - offsets[:-1], seg_lengths
+        )
+        candidate_ids = src_csr.tgt_ids[flat_src_pos]
+        adjacency = row_adjacency(dest_csr, dodgr.order_count())
+        result = row_kernel(candidate_ids, offsets, q_rows, adjacency)
+        ctx.add_compute(int(result.comparisons))
+        matches = len(result)
+        if not matches:
+            return
+        ctx.add_counter("triangles_found", matches)
+        if callback is None:
+            return
+        ctx.add_compute(per_triangle_compute * matches)
+        batch = columnar_push_batch(
+            src_csr, dest_csr, rows, qpositions, q_rows, flat_src_pos, result
+        )
+        deliver_batch(ctx, batch, callback, batch_callback)
+
+    return _columnar_intersect_handler
+
+
+def drive_columnar_push(
+    ctx,
+    dodgr: DODGraph,
+    csr: CSRAdjacency,
+    handler,
+    payload_overhead: int,
+    allowed_ids=None,
+) -> None:
+    """Array-native driver: account and coalesce one rank's candidate pushes.
+
+    Builds the rank's full wedge stream — (pivot row, q position) pairs in
+    legacy iteration order — as index arrays, computes every replaced
+    message's exact serialized size columnar-wise, accounts the stream
+    through :meth:`~repro.runtime.world.RankContext.account_rpc_bulk` (same
+    counters and buffer flush boundaries as the per-wedge walk), and fires
+    one batched RPC per destination rank.  ``allowed_ids`` restricts targets
+    to the given dense order-ids (the Push-Pull push phase); ``None`` pushes
+    to every target.
+    """
+    cols = csr.columns()
+    indptr = cols.indptr
+    out_degree = indptr[1:] - indptr[:-1]
+    wedge_counts = _np.where(out_degree >= 2, out_degree - 1, 0)
+    total = int(wedge_counts.sum())
+    if total == 0:
+        return
+    rows = _np.repeat(_np.arange(csr.num_rows, dtype=_np.int64), wedge_counts)
+    qpositions = (
+        _np.arange(total, dtype=_np.int64)
+        - _np.repeat(_np.cumsum(wedge_counts) - wedge_counts, wedge_counts)
+        + _np.repeat(indptr[:-1], wedge_counts)
+    )
+    if allowed_ids is not None:
+        mask = _np.isin(csr.tgt_ids[qpositions], allowed_ids)
+        rows = rows[mask]
+        qpositions = qpositions[mask]
+        if rows.size == 0:
+            return
+    row_end = indptr[rows + 1]
+    dests = cols.tgt_owner[qpositions]
+    sizes = (
+        payload_overhead
+        + cols.row_wire[rows]
+        + cols.tgt_wire[qpositions]
+        + uvarint_size_array(row_end - 1 - qpositions)
+        + cols.cand_cumsum[row_end]
+        - cols.cand_cumsum[qpositions + 1]
+    )
+    ctx.account_rpc_bulk(dests, sizes)
+    order = _np.argsort(dests, kind="stable")
+    dests_sorted = dests[order]
+    unique_dests, group_starts = _np.unique(dests_sorted, return_index=True)
+    bounds = group_starts.tolist() + [dests_sorted.size]
+    rows_sorted = rows[order]
+    qpos_sorted = qpositions[order]
+    sizes_sorted = sizes[order]
+    for g, dest in enumerate(unique_dests.tolist()):
+        lo, hi = bounds[g], bounds[g + 1]
+        ctx.async_call_batched(
+            dest,
+            handler,
+            csr,
+            rows_sorted[lo:hi],
+            qpos_sorted[lo:hi],
+            virtual_rpcs=hi - lo,
+            virtual_bytes=int(sizes_sorted[lo:hi].sum()),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Style-keyed facades: what the engine runners actually call
+# ---------------------------------------------------------------------------
+
+
+def make_push_intersect_handler(
+    style: str,
+    dodgr: DODGraph,
+    kernel: str,
+    callback: Optional["TriangleCallback"],
+    per_triangle_compute: int,
+):
+    """Build the push-phase intersect handler for an engine's ``push_style``."""
+    if style == "batched":
+        return make_batched_intersect_handler(
+            dodgr, BATCH_KERNELS[kernel], callback, per_triangle_compute
+        )
+    if style == "columnar":
+        return make_columnar_intersect_handler(
+            dodgr,
+            ROW_KERNELS[kernel],
+            callback,
+            resolve_batch_callback(callback),
+            per_triangle_compute,
+        )
+    if style != "legacy":
+        raise ValueError(f"unknown push style {style!r}; known: {PUSH_STYLES}")
+    return make_legacy_intersect_handler(
+        dodgr, INTERSECTION_KERNELS[kernel], callback, per_triangle_compute
+    )
+
+
+def drive_push(style: str, ctx, dodgr: DODGraph, handler, allowed=None) -> None:
+    """Run one rank's push drive at the engine's granularity.
+
+    ``allowed`` is the rank's push-target set (Push-Pull) or ``None`` for
+    everything (Push-Only); the columnar driver converts it to dense
+    order-ids itself.
+    """
+    if style == "columnar":
+        allowed_ids = None
+        if allowed is not None:
+            order_ids = dodgr.order_ids()
+            allowed_ids = _np.fromiter(
+                (order_ids[q] for q in allowed), dtype=_np.int64, count=len(allowed)
+            )
+        drive_columnar_push(
+            ctx,
+            dodgr,
+            dodgr.csr(ctx),
+            handler,
+            legacy_push_payload_overhead(handler.handler_id),
+            allowed_ids=allowed_ids,
+        )
+    elif style == "batched":
+        drive_batched_push(
+            ctx,
+            dodgr.csr(ctx),
+            handler,
+            legacy_push_payload_overhead(handler.handler_id),
+            allowed=allowed,
+        )
+    elif style == "legacy":
+        drive_legacy_push(ctx, dodgr, handler, allowed=allowed)
+    else:
+        raise ValueError(f"unknown push style {style!r}; known: {PUSH_STYLES}")

@@ -1,0 +1,56 @@
+"""Push-Only survey runner: one driver loop, every engine.
+
+This is Algorithm 1 of the paper expressed over the engine layer: register
+the engine's intersect handler, walk every rank's pivots at the engine's
+granularity (:func:`~repro.core.engine.driver.drive_push`), barrier, report.
+The three near-copies of this loop that used to live in ``core/survey.py``
+collapse to the one function below.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..results import SurveyReport
+from .driver import drive_push, make_push_intersect_handler
+from .registry import EngineSpec
+from .request import SurveyRequest, SurveyResult
+
+__all__ = ["run_push_survey"]
+
+
+def run_push_survey(request: SurveyRequest, spec: EngineSpec) -> SurveyResult:
+    """Run the Push-Only triangle survey described by ``request`` on ``spec``."""
+    dodgr = request.dodgr
+    world = dodgr.world
+    callback = request.callback
+    per_triangle_compute = request.per_triangle_compute()
+    if request.reset_stats:
+        world.reset_stats()
+
+    handler = world.register_handler(
+        make_push_intersect_handler(
+            spec.push_style, dodgr, request.kernel, callback, per_triangle_compute
+        )
+    )
+
+    # Driver loop: every rank walks its local pivots and pushes suffixes —
+    # one coalesced RPC per destination rank (columnar) or (destination, q)
+    # group (batched), one RPC per wedge otherwise.
+    host_start = time.perf_counter()
+    world.begin_phase(request.phase_name)
+    for ctx in world.ranks:
+        drive_push(spec.push_style, ctx, dodgr, handler)
+    world.barrier()
+    host_seconds = time.perf_counter() - host_start
+
+    simulated = world.simulated_time(phases=[request.phase_name])
+    report = SurveyReport.from_world_stats(
+        algorithm="push",
+        graph_name=request.graph_name or dodgr.name,
+        world_stats=world.stats,
+        simulated=simulated,
+        phases=[request.phase_name],
+        host_seconds=host_seconds,
+    )
+    return SurveyResult(report=report, engine=spec.name, request=request)

@@ -1,0 +1,203 @@
+"""Push-Pull survey runner: dry run, push and pull phases over the engine layer.
+
+Section 4.4 of the paper as one driver, parameterised by an
+:class:`~repro.core.engine.registry.EngineSpec`:
+
+1. **Dry run** — every rank counts, per target vertex ``q``, the candidate
+   edges it would push; owners compare against ``|Adj+(q)|`` and either
+   record the source on ``q``'s pull list or advise it to push.
+   ``spec.proposal_style == "batched"`` coalesces the proposals into one
+   RPC per (source, dest) rank pair, accounted at exact legacy sizes.
+2. **Push** — identical to Push-Only at ``spec.push_style`` granularity,
+   skipping targets that will be pulled.
+3. **Pull** — owners deliver ``Adj^m_+(q)`` at ``spec.pull_style``
+   granularity (see :mod:`repro.core.engine.pull`).
+
+Handler registration order is identical for every engine so that handler
+ids — and therefore the serialized size of every dry-run message and the
+accounted size of every push/pull message — match the legacy run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Set, Tuple
+
+from ..results import SurveyReport
+from .driver import drive_push, make_push_intersect_handler
+from .pull import drive_pull, make_pull_handler
+from .registry import EngineSpec
+from .request import (
+    DRY_RUN_PHASE,
+    PULL_PHASE,
+    PUSH_PHASE,
+    SurveyRequest,
+    SurveyResult,
+)
+
+__all__ = ["run_push_pull_survey"]
+
+
+def run_push_pull_survey(request: SurveyRequest, spec: EngineSpec) -> SurveyResult:
+    """Run the Push-Pull triangle survey described by ``request`` on ``spec``."""
+    dodgr = request.dodgr
+    world = dodgr.world
+    nranks = world.nranks
+    callback = request.callback
+    per_triangle_compute = request.per_triangle_compute()
+    if request.reset_stats:
+        world.reset_stats()
+
+    # Per-rank driver-side state for this run -------------------------------
+    # pivots_by_target[rank][q] = list of (pivot vertex, index of q in its adj)
+    pivots_by_target: List[Dict[Any, List[Tuple[Any, int]]]] = [dict() for _ in range(nranks)]
+    # push_targets[rank] = set of target vertices this rank was told to push to
+    push_targets: List[Set[Any]] = [set() for _ in range(nranks)]
+    # pull_lists[rank][q] = list of source ranks that should receive Adj^m_+(q)
+    pull_lists: List[Dict[Any, List[int]]] = [dict() for _ in range(nranks)]
+
+    # ------------------------------------------------------------------
+    # Dry-run RPC handlers (engine-independent decision logic)
+    # ------------------------------------------------------------------
+    def _propose_handler(ctx, q: Any, source_rank: int, candidate_count: int) -> None:
+        """Owner of q decides: pull (remember source) or advise push."""
+        record = dodgr.local_store(ctx).get(q)
+        out_degree = len(record["adj"]) if record is not None else 0
+        if record is not None and out_degree < candidate_count:
+            pull_lists[ctx.rank].setdefault(q, []).append(source_rank)
+        else:
+            ctx.async_call_sized(source_rank, _advise_push_handler, q)
+
+    def _advise_push_handler(ctx, q: Any) -> None:
+        push_targets[ctx.rank].add(q)
+
+    def _propose_batch_handler(ctx, source_rank: int, pairs: List[Tuple[Any, int]]) -> None:
+        """One coalesced dry-run proposal per (source rank, dest rank).
+
+        Carries every ``(q, count)`` pair the source generated for this
+        rank's targets, in the source's legacy iteration order, and runs the
+        per-pair decision logic unchanged — so pull-list append order and
+        advise-reply order match the per-``(rank, q)`` message stream it
+        replaces.
+        """
+        for q, candidate_count in pairs:
+            _propose_handler(ctx, q, source_rank, candidate_count)
+
+    # Handler registration order is identical in every mode so that handler
+    # ids — and therefore the serialized size of every dry-run message and
+    # the accounted size of every push/pull message — match the legacy run.
+    batched_proposals = spec.proposal_style == "batched"
+    h_propose = world.register_handler(_propose_handler)
+    _h_advise = world.register_handler(_advise_push_handler)
+    h_intersect = world.register_handler(
+        make_push_intersect_handler(
+            spec.push_style, dodgr, request.kernel, callback, per_triangle_compute
+        )
+    )
+    # Occupies the legacy pull handler's registration slot, so the id every
+    # accounted pull message serializes is the legacy one.
+    h_pull_deliver = world.register_handler(
+        make_pull_handler(
+            spec.pull_style,
+            dodgr,
+            request.kernel,
+            callback,
+            per_triangle_compute,
+            pivots_by_target,
+        )
+    )
+    if batched_proposals:
+        # Registered last: its id never crosses the accounted wire, so the
+        # earlier ids (and every accounted legacy message size) still match
+        # the legacy run exactly.
+        h_propose_batch = world.register_handler(_propose_batch_handler)
+
+    host_start = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Phase 1: Push vs Pull dry run.
+    # ------------------------------------------------------------------
+    world.begin_phase(DRY_RUN_PHASE)
+    for ctx in world.ranks:
+        rank = ctx.rank
+        store = dodgr.local_store(ctx)
+        candidate_totals: Dict[Any, int] = {}
+        targets = pivots_by_target[rank]
+        for p, record in store.items():
+            adjacency = record["adj"]
+            if len(adjacency) < 2:
+                continue
+            for i in range(len(adjacency) - 1):
+                q = adjacency[i][0]
+                suffix_len = len(adjacency) - 1 - i
+                targets.setdefault(q, []).append((p, i))
+                if dodgr.owner(q) == rank:
+                    # Local targets are always pushed (zero wire cost).
+                    push_targets[rank].add(q)
+                else:
+                    candidate_totals[q] = candidate_totals.get(q, 0) + suffix_len
+        if batched_proposals:
+            # Coalesce proposals: one batched RPC per (source rank, dest
+            # rank) carrying every (q, count) pair, accounted — in legacy
+            # iteration order, against the real buffer bank — as the exact
+            # per-(rank, q) messages it replaces (the BatchedCall contract).
+            per_dest: Dict[int, Tuple[List[Tuple[Any, int]], List[int]]] = {}
+            for q, total in candidate_totals.items():
+                dest = dodgr.owner(q)
+                nbytes = world.registry.call_size(h_propose, (q, rank, total))
+                ctx.account_rpc(dest, nbytes)
+                bucket = per_dest.get(dest)
+                if bucket is None:
+                    per_dest[dest] = bucket = ([], [0])
+                bucket[0].append((q, total))
+                bucket[1][0] += nbytes
+            for dest, (pairs, (dest_bytes,)) in per_dest.items():
+                ctx.async_call_batched(
+                    dest,
+                    h_propose_batch,
+                    rank,
+                    pairs,
+                    virtual_rpcs=len(pairs),
+                    virtual_bytes=dest_bytes,
+                )
+            # Batched proposals execute in the barrier's first delivery
+            # sweep — before its flush pass.  Flush now, exactly where the
+            # legacy run's barrier flushes the proposal buffers, so the
+            # advise replies meet empty buffers in both paths and the
+            # flush-window split (wire_messages, envelope bytes) matches.
+            ctx.buffers.flush_all()
+        else:
+            for q, total in candidate_totals.items():
+                ctx.async_call_sized(dodgr.owner(q), h_propose, q, rank, total)
+    world.barrier()
+
+    # ------------------------------------------------------------------
+    # Phase 2: Push phase (skip targets that will be pulled).
+    # ------------------------------------------------------------------
+    world.begin_phase(PUSH_PHASE)
+    for ctx in world.ranks:
+        drive_push(
+            spec.push_style, ctx, dodgr, h_intersect, allowed=push_targets[ctx.rank]
+        )
+    world.barrier()
+
+    # ------------------------------------------------------------------
+    # Phase 3: Pull phase (owners broadcast adjacency lists, coalesced).
+    # ------------------------------------------------------------------
+    world.begin_phase(PULL_PHASE)
+    for ctx in world.ranks:
+        drive_pull(spec.pull_style, ctx, dodgr, h_pull_deliver, pull_lists[ctx.rank])
+    world.barrier()
+
+    host_seconds = time.perf_counter() - host_start
+    phases = [DRY_RUN_PHASE, PUSH_PHASE, PULL_PHASE]
+    simulated = world.simulated_time(phases=phases)
+    report = SurveyReport.from_world_stats(
+        algorithm="push_pull",
+        graph_name=request.graph_name or dodgr.name,
+        world_stats=world.stats,
+        simulated=simulated,
+        phases=phases,
+        host_seconds=host_seconds,
+    )
+    return SurveyResult(report=report, engine=spec.name, request=request)

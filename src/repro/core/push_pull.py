@@ -22,38 +22,39 @@ popular target vertices.  The Push-Pull optimisation adds a choice per
 
 Locally owned targets are always handled in the push phase — messages to
 yourself never touch the wire, so pulling them cannot help.
+
+This module is a thin entry point over :mod:`repro.core.engine`: the
+``engine=`` keyword selects a registered
+:class:`~repro.core.engine.EngineSpec` whose ``proposal_style`` /
+``push_style`` / ``pull_style`` fields pick the strategy of each phase, and
+:func:`~repro.core.engine.push_pull.run_push_pull_survey` executes the
+request on the shared driver core.  Every engine keeps the Table 3/Table 4
+columns byte-identical — each coalesced message is accounted at the exact
+serialized size of the legacy messages it replaces; because dry-run
+handlers reply with advise RPCs, the flush-window *split* of those
+follow-on messages carries the same bound as RPC-sending callbacks (see
+:class:`~repro.runtime.world.BatchedCall`) — identical in practice unless a
+rank's proposal stream overflows a buffer mid-drive.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Optional
 
-from ..graph.dodgr import DODGraph, entry_key
-from ..graph.metadata import TriangleBatch, TriangleMetadata
-from ..runtime.serialization import uvarint_size
-from .intersection import BATCH_KERNELS, INTERSECTION_KERNELS, ROW_KERNELS
-from .results import SurveyReport
-from .survey import (
+from ..graph.dodgr import DODGraph
+from .engine import (
     DEFAULT_CALLBACK_COMPUTE_UNITS,
+    DRY_RUN_PHASE,
+    PULL_PHASE,
+    PUSH_PHASE,
+    SurveyRequest,
     TriangleCallback,
-    _candidate_key,
-    _concat_segments,
-    _deliver_batch,
-    _drive_batched_push,
-    _drive_columnar_push,
-    _legacy_push_payload_overhead,
-    _make_batched_intersect_handler,
-    _make_columnar_intersect_handler,
-    _resolve_engine,
-    _row_adjacency,
-    resolve_batch_callback,
+    resolve_engine,
+    split_engine_selector,
 )
-
-try:
-    import numpy as _np
-except ImportError:  # pragma: no cover - exercised via the list fallback
-    _np = None
+from .engine.push_pull import run_push_pull_survey
+from .results import SurveyReport
+from .survey import _handle_deprecated_batched
 
 __all__ = [
     "triangle_survey_push_pull",
@@ -63,10 +64,6 @@ __all__ = [
     "PULL_PHASE",
 ]
 
-DRY_RUN_PHASE = "dry_run"
-PUSH_PHASE = "push"
-PULL_PHASE = "pull"
-
 
 def triangle_survey_push_pull(
     dodgr: DODGraph,
@@ -75,8 +72,8 @@ def triangle_survey_push_pull(
     reset_stats: bool = True,
     graph_name: Optional[str] = None,
     callback_compute_units: int = DEFAULT_CALLBACK_COMPUTE_UNITS,
-    batched: bool = False,
-    engine: Optional[str] = None,
+    batched: Optional[bool] = None,
+    engine=None,
 ) -> SurveyReport:
     """Run the Push-Pull triangle survey over ``dodgr``.
 
@@ -99,480 +96,38 @@ def triangle_survey_push_pull(
         callback is supplied (see
         :data:`~repro.core.survey.DEFAULT_CALLBACK_COMPUTE_UNITS`).
     batched:
-        Run the batched engine: the dry run coalesces its proposals into one
-        RPC per (source rank, dest rank) carrying every ``(q, count)`` pair,
-        the push phase coalesces candidate pushes per ``(destination rank,
-        q)`` exactly like :func:`~repro.core.survey.triangle_survey_push`,
-        and each pull-phase delivery intersects all of its waiting pivots in
-        one vectorized batch-kernel call.  Every replaced message is
-        accounted at its exact legacy size through the real buffer bank (the
-        ``BatchedCall`` contract), so all communication totals stay
-        byte-identical; because dry-run handlers reply with advise RPCs, the
-        flush-window *split* of those follow-on messages carries the same
-        bound as RPC-sending callbacks (see
-        :class:`~repro.runtime.world.BatchedCall`) — identical in practice
-        unless a rank's proposal stream overflows a buffer mid-drive.
+        Deprecated PR 1 selector; ``batched=True`` maps to
+        ``engine="batched"`` with a ``DeprecationWarning``.  Use ``engine=``.
     engine:
-        Explicit engine selector overriding ``batched`` (``"legacy"``,
-        ``"batched"``, ``"columnar"``).  The columnar engine additionally
-        vectorizes the push-phase driver, delivers triangles to reducers as
+        Engine selector (name, :class:`~repro.core.engine.EngineSpec` or
+        :class:`~repro.core.engine.EngineConfig`).  ``"batched"`` coalesces
+        the dry run into one RPC per (source, dest) rank pair, the push
+        phase per (destination rank, q), and intersects each pull delivery
+        in one batch-kernel call; ``"columnar"`` additionally vectorizes
+        the push driver, delivers triangles as
         :class:`~repro.graph.metadata.TriangleBatch` columns, and coalesces
-        the pull phase into one RPC per (owner rank, requesting rank) pair —
-        each replaced ``Adj^m_+(q)`` delivery accounted at its exact legacy
-        size, so the Table 3/Table 4 columns stay byte-identical.
+        the pull phase into one RPC per (owner, requester) pair;
+        ``"columnar-pull"`` composes the batched push phases with the
+        columnar pull phase.  All engines keep every communication total
+        byte-identical (see the module docstring).
 
     The returned report carries the three-phase breakdown (dry run / push /
     pull) and the number of pulled adjacency lists used for Table 3.
     """
-    world = dodgr.world
-    nranks = world.nranks
-    engine = _resolve_engine(engine, batched)
-    batched = engine in ("batched", "columnar")
-    intersect = INTERSECTION_KERNELS[kernel]
-    per_triangle_compute = callback_compute_units if callback is not None else 0
-    if reset_stats:
-        world.reset_stats()
-
-    # Per-rank driver-side state for this run -------------------------------
-    # pivots_by_target[rank][q] = list of (pivot vertex, index of q in its adj)
-    pivots_by_target: List[Dict[Any, List[Tuple[Any, int]]]] = [dict() for _ in range(nranks)]
-    # push_targets[rank] = set of target vertices this rank was told to push to
-    push_targets: List[Set[Any]] = [set() for _ in range(nranks)]
-    # pull_lists[rank][q] = list of source ranks that should receive Adj^m_+(q)
-    pull_lists: List[Dict[Any, List[int]]] = [dict() for _ in range(nranks)]
-
-    # ------------------------------------------------------------------
-    # RPC handlers
-    # ------------------------------------------------------------------
-    def _propose_handler(ctx, q: Any, source_rank: int, candidate_count: int) -> None:
-        """Owner of q decides: pull (remember source) or advise push."""
-        record = dodgr.local_store(ctx).get(q)
-        out_degree = len(record["adj"]) if record is not None else 0
-        if record is not None and out_degree < candidate_count:
-            pull_lists[ctx.rank].setdefault(q, []).append(source_rank)
-        else:
-            ctx.async_call_sized(source_rank, _advise_push_handler, q)
-
-    def _advise_push_handler(ctx, q: Any) -> None:
-        push_targets[ctx.rank].add(q)
-
-    def _propose_batch_handler(ctx, source_rank: int, pairs: List[Tuple[Any, int]]) -> None:
-        """One coalesced dry-run proposal per (source rank, dest rank).
-
-        Carries every ``(q, count)`` pair the source generated for this
-        rank's targets, in the source's legacy iteration order, and runs the
-        per-pair decision logic unchanged — so pull-list append order and
-        advise-reply order match the per-``(rank, q)`` message stream it
-        replaces.
-        """
-        for q, candidate_count in pairs:
-            _propose_handler(ctx, q, source_rank, candidate_count)
-
-    def _intersect_handler(
-        ctx, q: Any, p: Any, meta_p: Any, meta_pq: Any, candidates: List[tuple]
-    ) -> None:
-        """Push-phase wedge check at the owner of q (same as Push-Only)."""
-        record = dodgr.local_store(ctx).get(q)
-        ctx.add_counter("wedge_checks", len(candidates))
-        if record is None:
-            return
-        adjacency = record["adj"]
-        meta_q = record["meta"]
-        result = intersect(candidates, adjacency, _candidate_key, entry_key)
-        ctx.add_compute(result.comparisons)
-        for cand_idx, adj_idx in result.matches:
-            r, _d_r, meta_pr = candidates[cand_idx]
-            _, _, meta_qr, meta_r = adjacency[adj_idx]
-            ctx.add_counter("triangles_found", 1)
-            if callback is not None:
-                ctx.add_compute(per_triangle_compute)
-                callback(
-                    ctx,
-                    TriangleMetadata(
-                        p=p, q=q, r=r,
-                        meta_p=meta_p, meta_q=meta_q, meta_r=meta_r,
-                        meta_pq=meta_pq, meta_pr=meta_pr, meta_qr=meta_qr,
-                    ),
-                )
-
-    def _pull_deliver_handler(
-        ctx, q: Any, meta_q: Any, adjacency_q: List[tuple]
-    ) -> None:
-        """Pull-phase: Adj^m_+(q) arrives at a source rank; intersect locally."""
-        ctx.add_counter("vertices_pulled", 1)
-        store = dodgr.local_store(ctx)
-        wanting_pivots = pivots_by_target[ctx.rank].get(q, ())
-        for p, q_index in wanting_pivots:
-            record = store.get(p)
-            if record is None:
-                continue
-            adjacency_p = record["adj"]
-            meta_p = record["meta"]
-            meta_pq = adjacency_p[q_index][2]
-            suffix = adjacency_p[q_index + 1 :]
-            ctx.add_counter("wedge_checks", len(suffix))
-            result = intersect(suffix, adjacency_q, entry_key, _candidate_key)
-            ctx.add_compute(result.comparisons)
-            for suff_idx, pulled_idx in result.matches:
-                r, _d_r, meta_pr, meta_r = suffix[suff_idx]
-                meta_qr = adjacency_q[pulled_idx][2]
-                ctx.add_counter("triangles_found", 1)
-                if callback is not None:
-                    ctx.add_compute(per_triangle_compute)
-                    callback(
-                        ctx,
-                        TriangleMetadata(
-                            p=p, q=q, r=r,
-                            meta_p=meta_p, meta_q=meta_q, meta_r=meta_r,
-                            meta_pq=meta_pq, meta_pr=meta_pr, meta_qr=meta_qr,
-                        ),
-                    )
-
-    def _pull_deliver_batched_handler(
-        ctx, q: Any, meta_q: Any, adjacency_q: List[tuple]
-    ) -> None:
-        """Pull-phase delivery, batched: intersect all waiting pivots at once.
-
-        ``Adj^m_+(q)`` arrives once per requesting rank exactly as in the
-        legacy path; instead of one merge per waiting pivot, every pivot's
-        suffix becomes one segment of a single batch-kernel call against the
-        pulled list (mapped to dense ``<+`` order ids).
-        """
-        ctx.add_counter("vertices_pulled", 1)
-        csr = dodgr.csr(ctx)
-        order_ids = dodgr.order_ids()
-        pulled_ids = [order_ids[entry[0]] for entry in adjacency_q]
-        rows: List[int] = []
-        starts: List[int] = []
-        ends: List[int] = []
-        for p, q_index in pivots_by_target[ctx.rank].get(q, ()):
-            row = csr.row_of(p)
-            if row is None:
-                continue
-            lo, hi = csr.row_slice(row)
-            start = lo + q_index + 1
-            ctx.add_counter("wedge_checks", hi - start)
-            rows.append(row)
-            starts.append(start)
-            ends.append(hi)
-        if not rows:
-            return
-        candidate_ids, offsets = _concat_segments(csr.tgt_ids, starts, ends)
-        result = batch_kernel(candidate_ids, offsets, pulled_ids)
-        ctx.add_compute(result.comparisons)
-        if not result.matches:
-            return
-        ctx.add_counter("triangles_found", len(result.matches))
-        if callback is None:
-            return
-        ctx.add_compute(per_triangle_compute * len(result.matches))
-        for wedge, cand_idx, adj_idx in result.matches:
-            r, _d_r, meta_pr, meta_r = csr.entries[starts[wedge] + cand_idx]
-            meta_qr = adjacency_q[adj_idx][2]
-            row = rows[wedge]
-            callback(
-                ctx,
-                TriangleMetadata(
-                    p=csr.row_vertices[row], q=q, r=r,
-                    meta_p=csr.row_meta[row], meta_q=meta_q, meta_r=meta_r,
-                    meta_pq=csr.entries[starts[wedge] - 1][2],
-                    meta_pr=meta_pr, meta_qr=meta_qr,
-                ),
-            )
-
-    def _pull_deliver_columnar_handler(ctx, owner_csr, q_rows) -> None:
-        """Pull-phase delivery, columnar: one RPC per (owner, requester) pair.
-
-        ``q_rows`` indexes every adjacency row this owner rank is delivering
-        to this requester, in the owner's legacy send order.  Each waiting
-        pivot's suffix becomes one segment of a single row-kernel call
-        against the owner's CSR rows, and the closing triangles are handed
-        to the reducer as one :class:`TriangleBatch`.
-        """
-        ctx.add_counter("vertices_pulled", len(q_rows))
-        csr = dodgr.csr(ctx)
-        targets = pivots_by_target[ctx.rank]
-        row_of = csr.row_of
-        rows: List[int] = []
-        starts: List[int] = []
-        ends: List[int] = []
-        seg_q_rows: List[int] = []
-        wedge_checks = 0
-        for q_row in q_rows.tolist():
-            q = owner_csr.row_vertices[q_row]
-            for p, q_index in targets.get(q, ()):
-                row = row_of(p)
-                if row is None:
-                    continue
-                lo, hi = csr.row_slice(row)
-                start = lo + q_index + 1
-                wedge_checks += hi - start
-                rows.append(row)
-                starts.append(start)
-                ends.append(hi)
-                seg_q_rows.append(q_row)
-        ctx.add_counter("wedge_checks", wedge_checks)
-        if not rows:
-            return
-        candidate_ids, offsets = _concat_segments(csr.tgt_ids, starts, ends)
-        adjacency = _row_adjacency(owner_csr, dodgr.order_count())
-        result = row_kernel(
-            candidate_ids, offsets, _np.asarray(seg_q_rows, dtype=_np.int64), adjacency
-        )
-        ctx.add_compute(int(result.comparisons))
-        matches = len(result)
-        if not matches:
-            return
-        ctx.add_counter("triangles_found", matches)
-        if callback is None:
-            return
-        ctx.add_compute(per_triangle_compute * matches)
-        starts_arr = _np.asarray(starts, dtype=_np.int64)
-        seg = result.seg if hasattr(result.seg, "tolist") else _np.asarray(result.seg)
-        cand_pos = (
-            result.cand_pos
-            if hasattr(result.cand_pos, "tolist")
-            else _np.asarray(result.cand_pos)
-        )
-        src_pos = (starts_arr[seg] + cand_pos - offsets[seg]).tolist()
-        seg_list = seg.tolist()
-        adj_pos = (
-            result.adj_pos.tolist()
-            if hasattr(result.adj_pos, "tolist")
-            else list(result.adj_pos)
-        )
-        entries = csr.entries
-        owner_entries = owner_csr.entries
-        builders = {
-            "p": lambda: [csr.row_vertices[rows[s]] for s in seg_list],
-            "meta_p": lambda: [csr.row_meta[rows[s]] for s in seg_list],
-            "q": lambda: [owner_csr.row_vertices[seg_q_rows[s]] for s in seg_list],
-            "meta_q": lambda: [owner_csr.row_meta[seg_q_rows[s]] for s in seg_list],
-            "meta_pq": lambda: [entries[starts[s] - 1][2] for s in seg_list],
-            "r": lambda: [entries[pos][0] for pos in src_pos],
-            "meta_pr": lambda: [entries[pos][2] for pos in src_pos],
-            "meta_r": lambda: [entries[pos][3] for pos in src_pos],
-            "meta_qr": lambda: [owner_entries[pos][2] for pos in adj_pos],
-        }
-        batch = TriangleBatch(len(src_pos), builders)
-        _deliver_batch(ctx, batch, callback, batch_callback)
-
-    # Handler registration order is identical in every mode so that handler
-    # ids — and therefore the serialized size of every dry-run message and
-    # the accounted size of every push/pull message — match the legacy run.
-    batch_kernel = BATCH_KERNELS[kernel] if engine == "batched" else None
-    row_kernel = ROW_KERNELS[kernel] if engine == "columnar" else None
-    batch_callback = resolve_batch_callback(callback) if engine == "columnar" else None
-    h_propose = world.register_handler(_propose_handler)
-    _h_advise = world.register_handler(_advise_push_handler)
-    if engine == "batched":
-        h_intersect = world.register_handler(
-            _make_batched_intersect_handler(
-                dodgr, batch_kernel, callback, per_triangle_compute
-            )
-        )
-        h_pull_deliver = world.register_handler(_pull_deliver_batched_handler)
-        # Registered last: its id never crosses the accounted wire, so the
-        # earlier ids (and every accounted legacy message size) still match
-        # the legacy run exactly.
-        h_propose_batch = world.register_handler(_propose_batch_handler)
-    elif engine == "columnar":
-        h_intersect = world.register_handler(
-            _make_columnar_intersect_handler(
-                dodgr, row_kernel, callback, batch_callback, per_triangle_compute
-            )
-        )
-        # Occupies the legacy pull handler's registration slot, so the id
-        # every accounted pull message serializes is the legacy one.
-        h_pull_deliver = world.register_handler(_pull_deliver_columnar_handler)
-        h_propose_batch = world.register_handler(_propose_batch_handler)
-    else:
-        h_intersect = world.register_handler(_intersect_handler)
-        h_pull_deliver = world.register_handler(_pull_deliver_handler)
-
-    host_start = time.perf_counter()
-
-    # ------------------------------------------------------------------
-    # Phase 1: Push vs Pull dry run.
-    # ------------------------------------------------------------------
-    world.begin_phase(DRY_RUN_PHASE)
-    for ctx in world.ranks:
-        rank = ctx.rank
-        store = dodgr.local_store(ctx)
-        candidate_totals: Dict[Any, int] = {}
-        targets = pivots_by_target[rank]
-        for p, record in store.items():
-            adjacency = record["adj"]
-            if len(adjacency) < 2:
-                continue
-            for i in range(len(adjacency) - 1):
-                q = adjacency[i][0]
-                suffix_len = len(adjacency) - 1 - i
-                targets.setdefault(q, []).append((p, i))
-                if dodgr.owner(q) == rank:
-                    # Local targets are always pushed (zero wire cost).
-                    push_targets[rank].add(q)
-                else:
-                    candidate_totals[q] = candidate_totals.get(q, 0) + suffix_len
-        if batched:
-            # Coalesce proposals: one batched RPC per (source rank, dest
-            # rank) carrying every (q, count) pair, accounted — in legacy
-            # iteration order, against the real buffer bank — as the exact
-            # per-(rank, q) messages it replaces (the BatchedCall contract).
-            per_dest: Dict[int, Tuple[List[Tuple[Any, int]], List[int]]] = {}
-            for q, total in candidate_totals.items():
-                dest = dodgr.owner(q)
-                nbytes = world.registry.call_size(h_propose, (q, rank, total))
-                ctx.account_rpc(dest, nbytes)
-                bucket = per_dest.get(dest)
-                if bucket is None:
-                    per_dest[dest] = bucket = ([], [0])
-                bucket[0].append((q, total))
-                bucket[1][0] += nbytes
-            for dest, (pairs, (dest_bytes,)) in per_dest.items():
-                ctx.async_call_batched(
-                    dest,
-                    h_propose_batch,
-                    rank,
-                    pairs,
-                    virtual_rpcs=len(pairs),
-                    virtual_bytes=dest_bytes,
-                )
-            # Batched proposals execute in the barrier's first delivery
-            # sweep — before its flush pass.  Flush now, exactly where the
-            # legacy run's barrier flushes the proposal buffers, so the
-            # advise replies meet empty buffers in both paths and the
-            # flush-window split (wire_messages, envelope bytes) matches.
-            ctx.buffers.flush_all()
-        else:
-            for q, total in candidate_totals.items():
-                ctx.async_call_sized(dodgr.owner(q), h_propose, q, rank, total)
-    world.barrier()
-
-    # ------------------------------------------------------------------
-    # Phase 2: Push phase (skip targets that will be pulled).
-    # ------------------------------------------------------------------
-    world.begin_phase(PUSH_PHASE)
-    if engine == "columnar":
-        payload_overhead = _legacy_push_payload_overhead(h_intersect.handler_id)
-        order_ids = dodgr.order_ids()
-        for ctx in world.ranks:
-            allowed = push_targets[ctx.rank]
-            allowed_ids = _np.fromiter(
-                (order_ids[q] for q in allowed), dtype=_np.int64, count=len(allowed)
-            )
-            _drive_columnar_push(
-                ctx,
-                dodgr,
-                dodgr.csr(ctx),
-                h_intersect,
-                payload_overhead,
-                allowed_ids=allowed_ids,
-            )
-    elif engine == "batched":
-        payload_overhead = _legacy_push_payload_overhead(h_intersect.handler_id)
-        for ctx in world.ranks:
-            _drive_batched_push(
-                ctx,
-                dodgr.csr(ctx),
-                h_intersect,
-                payload_overhead,
-                allowed=push_targets[ctx.rank],
-            )
-    else:
-        for ctx in world.ranks:
-            rank = ctx.rank
-            store = dodgr.local_store(ctx)
-            allowed = push_targets[rank]
-            for p, record in store.items():
-                adjacency = record["adj"]
-                if len(adjacency) < 2:
-                    continue
-                meta_p = record["meta"]
-                for i in range(len(adjacency) - 1):
-                    q, _d_q, meta_pq, _meta_q = adjacency[i]
-                    if q not in allowed:
-                        continue
-                    candidates = [
-                        (entry[0], entry[1], entry[2]) for entry in adjacency[i + 1 :]
-                    ]
-                    ctx.async_call_sized(
-                        dodgr.owner(q), h_intersect, q, p, meta_p, meta_pq, candidates
-                    )
-    world.barrier()
-
-    # ------------------------------------------------------------------
-    # Phase 3: Pull phase (owners broadcast adjacency lists, coalesced).
-    # ------------------------------------------------------------------
-    world.begin_phase(PULL_PHASE)
-    if engine == "columnar":
-        # One coalesced RPC per (owner rank, requesting rank) pair carrying
-        # every pulled adjacency row, each replaced per-(q, requester)
-        # delivery accounted — in legacy send order — at the exact
-        # serialized size of the legacy message (same wire framing as the
-        # push accounting: outer pair + argument list + payload list).
-        pull_overhead = _legacy_push_payload_overhead(h_pull_deliver.handler_id)
-        for ctx in world.ranks:
-            rank = ctx.rank
-            csr = dodgr.csr(rank)
-            groups: Dict[int, Tuple[List[int], List[int]]] = {}
-            for q, requesters in pull_lists[rank].items():
-                row = csr.row_of(q)
-                if row is None:
-                    continue
-                lo, hi = csr.row_slice(row)
-                # The pulled payload omits meta(r): the requesting rank
-                # stores meta(r) locally for every r it may close with.
-                nbytes = (
-                    pull_overhead
-                    + csr.row_wire_sizes[row]
-                    + uvarint_size(hi - lo)
-                    + csr.cand_size_cumsum[hi]
-                    - csr.cand_size_cumsum[lo]
-                )
-                for source_rank in requesters:
-                    ctx.account_rpc(source_rank, nbytes)
-                    group = groups.get(source_rank)
-                    if group is None:
-                        groups[source_rank] = group = ([], [0])
-                    group[0].append(row)
-                    group[1][0] += nbytes
-            for source_rank, (q_row_list, (group_bytes,)) in groups.items():
-                ctx.async_call_batched(
-                    source_rank,
-                    h_pull_deliver,
-                    csr,
-                    _np.asarray(q_row_list, dtype=_np.int64),
-                    virtual_rpcs=len(q_row_list),
-                    virtual_bytes=group_bytes,
-                )
-    else:
-        for ctx in world.ranks:
-            rank = ctx.rank
-            store = dodgr.local_store(ctx)
-            for q, requesters in pull_lists[rank].items():
-                record = store.get(q)
-                if record is None:
-                    continue
-                meta_q = record["meta"]
-                # The pulled payload omits meta(r): the requesting rank stores
-                # meta(r) locally for every r in its pivots' adjacency lists.
-                payload = [(entry[0], entry[1], entry[2]) for entry in record["adj"]]
-                for source_rank in requesters:
-                    ctx.async_call_sized(source_rank, h_pull_deliver, q, meta_q, payload)
-    world.barrier()
-
-    host_seconds = time.perf_counter() - host_start
-    phases = [DRY_RUN_PHASE, PUSH_PHASE, PULL_PHASE]
-    simulated = world.simulated_time(phases=phases)
-    return SurveyReport.from_world_stats(
-        algorithm="push_pull",
-        graph_name=graph_name or dodgr.name,
-        world_stats=world.stats,
-        simulated=simulated,
-        phases=phases,
-        host_seconds=host_seconds,
+    engine, kernel, callback_compute_units = split_engine_selector(
+        engine, kernel, callback_compute_units
     )
+    spec = resolve_engine(engine, batched=_handle_deprecated_batched(batched))
+    request = SurveyRequest(
+        dodgr=dodgr,
+        callback=callback,
+        algorithm="push_pull",
+        kernel=kernel,
+        reset_stats=reset_stats,
+        graph_name=graph_name,
+        callback_compute_units=callback_compute_units,
+    )
+    return run_push_pull_survey(request, spec).report
 
 
 def triangle_survey(
@@ -583,9 +138,17 @@ def triangle_survey(
 ) -> SurveyReport:
     """Dispatch to the requested survey algorithm (``"push"`` or ``"push_pull"``).
 
-    Remaining keyword arguments — including ``batched=True`` to select the
-    coalesced CSR engine — are forwarded to the chosen survey function.
+    Remaining keyword arguments — including the ``engine=`` selector (an
+    engine name or an :class:`~repro.core.engine.EngineConfig`) — are
+    forwarded to the chosen survey function.  The deprecated ``batched=``
+    boolean is translated here (warning attributed to the caller, not to
+    this dispatcher) so the one-release back-compat notice reaches user
+    code on every entry path.
     """
+    if "batched" in kwargs:
+        batched = _handle_deprecated_batched(kwargs.pop("batched"))
+        if kwargs.get("engine") is None:
+            kwargs["engine"] = "batched" if batched else "legacy"
     if algorithm == "push":
         from .survey import triangle_survey_push
 

@@ -15,53 +15,49 @@ purely through side effects (distributed counting sets, per-rank counters,
 files); the survey itself returns only telemetry (a
 :class:`~repro.core.results.SurveyReport`).
 
-Batched engine (``batched=True``)
----------------------------------
+Execution engines
+-----------------
 
-The legacy driver sizes (``async_call_sized`` — exact wire accounting, no
-codec run), buffers, delivers and intersects one wedge check at a time.  The
-batched engine extends the conveyor/YGM aggregation
-idea one layer up, from the wire into the compute: every candidate suffix a
-rank wants to push to the same ``(destination rank, q)`` pair is coalesced
-into a *single* batched RPC, and the owner of ``q`` intersects all of those
-suffixes against ``Adj^m_+(q)`` in one vectorized
-:func:`~repro.core.intersection.merge_path_batch` call over the
-:class:`~repro.graph.dodgr.CSRAdjacency` arrays.  Observable behaviour is
-contractually identical to the legacy path — same triangles, same callback
-invocations, same per-phase counters, and byte-identical Table 4
-communication accounting (each coalesced wedge is accounted as the exact
-legacy message it replaces via
-:meth:`~repro.runtime.world.RankContext.account_rpc`) — only host wall-clock
-changes.  One bound on the contract: if the *callback itself* sends RPCs
-mid-survey, all totals (RPC counts, payload bytes, compute) still match,
-but those follow-on messages can land in different flush windows, shifting
-``wire_messages`` and the per-flush envelope bytes; see
-:class:`~repro.runtime.world.BatchedCall` for why, and
-``tests/core/test_batched_survey.py`` for the exact invariants pinned in
-each regime.
+This module is a thin entry point over the unified survey-execution layer
+in :mod:`repro.core.engine`: the ``engine=`` keyword selects a registered
+:class:`~repro.core.engine.EngineSpec` (``legacy``, ``batched``,
+``columnar``, ``columnar-pull``, plus anything added through
+:func:`~repro.core.engine.register_engine`), and
+:func:`~repro.core.engine.push.run_push_survey` executes the request on the
+shared driver core.  Every engine shares the equivalence contract: same
+triangles, same callback invocations, same per-phase counters, and
+byte-identical Table 4 communication accounting (each coalesced message is
+accounted as the exact legacy messages it replaces).  One bound on the
+contract: if the *callback itself* sends RPCs mid-survey, all totals (RPC
+counts, payload bytes, compute) still match, but those follow-on messages
+can land in different flush windows, shifting ``wire_messages`` and the
+per-flush envelope bytes; see :class:`~repro.runtime.world.BatchedCall` for
+why, and ``tests/core/test_batched_survey.py`` for the exact invariants
+pinned in each regime.
+
+The ``batched=`` boolean (PR 1's selector) is deprecated: pass
+``engine="batched"`` instead.  It keeps one release of back-compat, mapping
+to ``engine="batched"``/``engine="legacy"`` with a ``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import warnings
+from typing import Optional
 
-from ..graph.degree import order_key
-from ..graph.dodgr import CSRAdjacency, DODGraph, entry_key
-from ..graph.metadata import TriangleBatch, TriangleMetadata
-from ..runtime.serialization import serialized_size, uvarint_size, uvarint_size_array
-from .intersection import (
-    BATCH_KERNELS,
-    INTERSECTION_KERNELS,
-    ROW_KERNELS,
-    RowAdjacency,
+from ..graph.dodgr import DODGraph
+from .engine import (
+    DEFAULT_CALLBACK_COMPUTE_UNITS,
+    PUSH_PHASE,
+    SurveyRequest,
+    TriangleCallback,
+    engine_names,
+    resolve_batch_callback,
+    resolve_engine,
+    split_engine_selector,
 )
+from .engine.push import run_push_survey
 from .results import SurveyReport
-
-try:
-    import numpy as _np
-except ImportError:  # pragma: no cover - exercised via the list fallback
-    _np = None
 
 __all__ = [
     "triangle_survey_push",
@@ -72,436 +68,35 @@ __all__ = [
     "resolve_batch_callback",
 ]
 
-#: Type of a survey callback.
-TriangleCallback = Callable[[Any, TriangleMetadata], None]
-
-PUSH_PHASE = "push"
-
-#: Abstract compute units charged per triangle for executing a user callback
-#: on its metadata (hashing labels, computing logarithms, updating counting-set
-#: caches).  Calibrated so that a metadata survey with a non-trivial callback
-#: costs roughly twice the throughput of bare counting on R-MAT weak-scaling
-#: inputs, matching the overhead the paper reports in Section 5.9.  Charged
-#: only when a callback is supplied; pass ``callback_compute_units=0`` to
-#: model a free callback.
-DEFAULT_CALLBACK_COMPUTE_UNITS = 10
-
-
-def _candidate_key(candidate: tuple) -> tuple:
-    """Sort key of a pushed candidate entry (r, d_r, meta_pr[, meta_r])."""
-    return order_key(candidate[0], candidate[1])
-
-
-#: The three survey execution engines, in increasing order of aggregation:
+#: The built-in survey execution engines, in increasing order of aggregation:
 #: ``legacy`` sends and intersects one wedge at a time, ``batched`` (PR 1)
 #: coalesces pushes per (destination rank, target vertex), ``columnar``
-#: coalesces per (source rank, destination rank) pair and delivers triangles
-#: to reducers as column batches.
-SURVEY_ENGINES = ("legacy", "batched", "columnar")
+#: (PR 3) coalesces per (source rank, destination rank) pair and delivers
+#: triangles to reducers as column batches, ``columnar-pull`` composes the
+#: batched push phases with the columnar pull phase.  Snapshot taken at
+#: import; :func:`repro.core.engine.engine_names` is the live registry view.
+SURVEY_ENGINES = engine_names()
 
 
-def _resolve_engine(engine: Optional[str], batched: bool) -> str:
-    """Normalise the ``engine``/``batched`` selector pair.
+def _handle_deprecated_batched(batched: Optional[bool]) -> bool:
+    """Map PR 1's ``batched=`` boolean to the engine selector, warning once per
+    call site.  ``None`` (the default) means the keyword was not passed.
 
-    ``engine=None`` preserves the PR 1 API: ``batched=True`` selects the
-    batched engine, otherwise legacy.  The columnar engine needs NumPy for
-    its array drivers; without it the batched engine (whose kernels carry
-    their own scalar fallbacks) is the documented downgrade — results are
-    identical either way.
+    Callers must be exactly one frame below the user (the direct entry
+    points, and the ``triangle_survey`` dispatcher — which translates the
+    flag itself rather than forwarding it — both are): ``stacklevel=3``
+    then attributes the warning to the user's call site, so Python's
+    default filters actually display the one-release back-compat notice.
     """
-    if engine is None:
-        engine = "batched" if batched else "legacy"
-    if engine not in SURVEY_ENGINES:
-        raise ValueError(f"unknown survey engine {engine!r}; known: {SURVEY_ENGINES}")
-    if engine == "columnar" and _np is None:  # pragma: no cover - no-NumPy env
-        engine = "batched"
-    return engine
-
-
-def resolve_batch_callback(callback: Optional["TriangleCallback"]):
-    """The batch counterpart of ``callback``, or None for scalar-only callbacks.
-
-    Two spellings engage columnar delivery: a ``callback_batch`` attribute on
-    the callable itself, or — the reducer convention of
-    :mod:`repro.core.callbacks` — passing a bound ``reducer.callback`` whose
-    owner also defines ``callback_batch``.  Anything else (plain lambdas,
-    wrapped callables) runs through the scalar fallback, one
-    :class:`~repro.graph.metadata.TriangleMetadata` at a time.
-
-    A subclass that overrides ``callback`` without overriding
-    ``callback_batch`` does NOT engage the inherited batch method: the two
-    entry points are a contract pair, and silently running the base class's
-    batch aggregation against a specialised scalar callback would change
-    results.  The walk below finds whichever of the pair is defined closest
-    to the instance's class; a scalar override at or below the batch
-    definition forces the scalar fallback.
-    """
-    if callback is None:
-        return None
-    batch = getattr(callback, "callback_batch", None)
-    if callable(batch):
-        return batch
-    owner = getattr(callback, "__self__", None)
-    if owner is not None and getattr(owner, "callback", None) == callback:
-        for klass in type(owner).__mro__:
-            if "callback_batch" in klass.__dict__:
-                batch = getattr(owner, "callback_batch", None)
-                return batch if callable(batch) else None
-            if "callback" in klass.__dict__:
-                return None
-    return None
-
-
-def _row_adjacency(csr: CSRAdjacency, order_count: int) -> RowAdjacency:
-    """The CSR's cached :class:`RowAdjacency` view for the row kernels."""
-    cached = csr.row_adj_cache
-    if cached is None:
-        indptr = csr.columns().indptr if _np is not None else csr.indptr
-        cached = RowAdjacency(csr.tgt_ids, indptr, order_count)
-        csr.row_adj_cache = cached
-    return cached
-
-
-# ---------------------------------------------------------------------------
-# Batched engine internals (shared with the Push-Pull driver)
-# ---------------------------------------------------------------------------
-
-
-def _concat_segments(ids, starts: List[int], ends: List[int]):
-    """Concatenate ``ids[s:e]`` slices into one flat array plus offsets.
-
-    The CSR/ragged layout consumed by the batch kernels: segment ``w``
-    occupies ``flat[offsets[w]:offsets[w + 1]]``.
-    """
-    if _np is not None:
-        starts_arr = _np.asarray(starts, dtype=_np.int64)
-        lengths = _np.asarray(ends, dtype=_np.int64) - starts_arr
-        offsets = _np.concatenate(([0], _np.cumsum(lengths)))
-        total = int(offsets[-1])
-        if total == 0:
-            return _np.empty(0, dtype=_np.int64), offsets
-        index = _np.arange(total, dtype=_np.int64) + _np.repeat(
-            starts_arr - offsets[:-1], lengths
-        )
-        return _np.asarray(ids)[index], offsets
-    flat: List[int] = []
-    offsets_list = [0]
-    for start, end in zip(starts, ends):
-        flat.extend(ids[start:end])
-        offsets_list.append(len(flat))
-    return flat, offsets_list
-
-
-def _legacy_push_payload_overhead(handler_id: int) -> int:
-    """Fixed serialized bytes of a legacy push RPC around its variable parts.
-
-    A legacy wedge message is ``dumps((handler_id, [q, p, meta_p, meta_pq,
-    candidates]))``: 2 framing bytes for the outer pair, the handler id, 2
-    framing bytes for the argument list, and 1 tag byte for the candidate
-    list (whose length prefix and entries are accounted per wedge).
-    """
-    return 5 + serialized_size(handler_id)
-
-
-def _make_batched_intersect_handler(
-    dodgr: DODGraph,
-    batch_kernel,
-    callback: Optional["TriangleCallback"],
-    per_triangle_compute: int,
-):
-    """Build the owner-side handler of one batched candidate push.
-
-    The handler receives every wedge a source rank generated for one target
-    vertex ``q``: ``rows``/``qpositions`` locate the pivots and their ``q``
-    entries inside the *source* rank's :class:`CSRAdjacency`, and each
-    pivot's candidate suffix is the edge range after ``qpositions[w]``.  All
-    suffixes are intersected against ``Adj^m_+(q)`` in one batch-kernel
-    call; matches close triangles exactly as in the legacy handler.
-    """
-
-    def _batched_intersect_handler(
-        ctx,
-        q: Any,
-        src_csr: CSRAdjacency,
-        rows: List[int],
-        qpositions: List[int],
-    ) -> None:
-        starts = [pos + 1 for pos in qpositions]
-        ends = [src_csr.indptr[row + 1] for row in rows]
-        ctx.add_counter(
-            "wedge_checks", sum(end - start for start, end in zip(starts, ends))
-        )
-        dest_csr = dodgr.csr(ctx)
-        q_row = dest_csr.row_of(q)
-        if q_row is None:
-            return
-        adj_lo, adj_hi = dest_csr.row_slice(q_row)
-        candidate_ids, offsets = _concat_segments(src_csr.tgt_ids, starts, ends)
-        result = batch_kernel(candidate_ids, offsets, dest_csr.tgt_ids[adj_lo:adj_hi])
-        ctx.add_compute(result.comparisons)
-        if not result.matches:
-            return
-        # Counter totals are phase-aggregate, so one bulk update per batch
-        # replaces two Python calls per triangle.
-        ctx.add_counter("triangles_found", len(result.matches))
-        if callback is None:
-            return
-        ctx.add_compute(per_triangle_compute * len(result.matches))
-        meta_q = dest_csr.row_meta[q_row]
-        for wedge, cand_idx, adj_idx in result.matches:
-            r, _d_r, meta_pr, _ = src_csr.entries[starts[wedge] + cand_idx]
-            _, _, meta_qr, meta_r = dest_csr.entries[adj_lo + adj_idx]
-            row = rows[wedge]
-            callback(
-                ctx,
-                TriangleMetadata(
-                    p=src_csr.row_vertices[row],
-                    q=q,
-                    r=r,
-                    meta_p=src_csr.row_meta[row],
-                    meta_q=meta_q,
-                    meta_r=meta_r,
-                    meta_pq=src_csr.entries[qpositions[wedge]][2],
-                    meta_pr=meta_pr,
-                    meta_qr=meta_qr,
-                ),
-            )
-
-    return _batched_intersect_handler
-
-
-def _drive_batched_push(
-    ctx,
-    csr: CSRAdjacency,
-    handler,
-    payload_overhead: int,
-    allowed=None,
-) -> None:
-    """Walk one rank's pivots, accounting and coalescing its candidate pushes.
-
-    Every wedge is accounted (in legacy iteration order, so buffer flush
-    boundaries replay exactly) via ``ctx.account_rpc`` with the precise
-    serialized size of the per-wedge message it replaces, then appended to
-    its ``(destination rank, q)`` group; one batched RPC per group follows.
-    ``allowed`` restricts targets (the Push-Pull push phase skips targets
-    that will be pulled); ``None`` pushes to every target.
-    """
-    groups: Dict[Tuple[int, Any], Tuple[List[int], List[int], List[int]]] = {}
-    indptr = csr.indptr
-    entries = csr.entries
-    owners = csr.tgt_owner
-    tgt_sizes = csr.tgt_wire_sizes
-    row_sizes = csr.row_wire_sizes
-    for row in range(csr.num_rows):
-        lo, hi = indptr[row], indptr[row + 1]
-        if hi - lo < 2:
-            continue
-        row_overhead = payload_overhead + row_sizes[row]
-        for pos in range(lo, hi - 1):
-            q = entries[pos][0]
-            if allowed is not None and q not in allowed:
-                continue
-            dest = owners[pos]
-            size = (
-                row_overhead
-                + tgt_sizes[pos]
-                + uvarint_size(hi - 1 - pos)
-                + csr.suffix_wire_bytes(pos, hi)
-            )
-            ctx.account_rpc(dest, size)
-            group = groups.get((dest, q))
-            if group is None:
-                groups[(dest, q)] = group = ([], [], [0])
-            group[0].append(row)
-            group[1].append(pos)
-            group[2][0] += size
-    for (dest, q), (rows, qpositions, (group_bytes,)) in groups.items():
-        ctx.async_call_batched(
-            dest,
-            handler,
-            q,
-            csr,
-            rows,
-            qpositions,
-            virtual_rpcs=len(rows),
-            virtual_bytes=group_bytes,
-        )
-
-
-# ---------------------------------------------------------------------------
-# Columnar engine internals (shared with the Push-Pull driver)
-# ---------------------------------------------------------------------------
-
-
-def _columnar_push_batch(
-    src_csr: CSRAdjacency,
-    dest_csr: CSRAdjacency,
-    rows,
-    qpositions,
-    q_rows,
-    flat_src_pos,
-    result,
-) -> TriangleBatch:
-    """Wrap one columnar intersect result as a lazy :class:`TriangleBatch`.
-
-    Only the small per-match index lists are materialised eagerly; each
-    metadata column decodes from the CSR entry tuples on first read.
-    """
-    wedge = result.seg
-    src_pos = flat_src_pos[result.cand_pos]
-    if hasattr(wedge, "tolist"):
-        p_rows = rows[wedge].tolist()
-        q_pos = qpositions[wedge].tolist()
-        qrow_list = q_rows[wedge].tolist()
-        src_pos = src_pos.tolist()
-        adj_pos = result.adj_pos.tolist()
-    else:  # scalar row-kernel results carry plain lists (small-input cutoff)
-        p_rows = [rows[w] for w in wedge]
-        q_pos = [qpositions[w] for w in wedge]
-        qrow_list = [q_rows[w] for w in wedge]
-        src_pos = list(src_pos)
-        adj_pos = list(result.adj_pos)
-    src_entries = src_csr.entries
-    dest_entries = dest_csr.entries
-    builders = {
-        "p": lambda: [src_csr.row_vertices[row] for row in p_rows],
-        "meta_p": lambda: [src_csr.row_meta[row] for row in p_rows],
-        "q": lambda: [dest_csr.row_vertices[row] for row in qrow_list],
-        "meta_q": lambda: [dest_csr.row_meta[row] for row in qrow_list],
-        "meta_pq": lambda: [src_entries[pos][2] for pos in q_pos],
-        "r": lambda: [src_entries[pos][0] for pos in src_pos],
-        "meta_pr": lambda: [src_entries[pos][2] for pos in src_pos],
-        "meta_qr": lambda: [dest_entries[pos][2] for pos in adj_pos],
-        "meta_r": lambda: [dest_entries[pos][3] for pos in adj_pos],
-    }
-    return TriangleBatch(len(src_pos), builders)
-
-
-def _deliver_batch(ctx, batch, callback, batch_callback) -> None:
-    """Hand a triangle batch to the reducer: columnar when it can, scalar else."""
-    if batch_callback is not None:
-        batch_callback(ctx, batch)
-    else:
-        for tri in batch.triangles():
-            callback(ctx, tri)
-
-
-def _make_columnar_intersect_handler(
-    dodgr: DODGraph,
-    row_kernel,
-    callback: Optional["TriangleCallback"],
-    batch_callback,
-    per_triangle_compute: int,
-):
-    """Build the owner-side handler of one columnar candidate push.
-
-    The handler receives *every* wedge a source rank generated for targets
-    this rank owns — one RPC per (source, destination) pair — as two index
-    arrays into the source's :class:`CSRAdjacency`.  All candidate suffixes
-    are intersected against their respective ``Adj^m_+(q)`` rows in one
-    row-kernel call, and the resulting triangles are delivered to the
-    reducer as one :class:`~repro.graph.metadata.TriangleBatch`.
-    """
-
-    def _columnar_intersect_handler(ctx, src_csr: CSRAdjacency, rows, qpositions) -> None:
-        src_cols = src_csr.columns()
-        starts = qpositions + 1
-        ends = src_cols.indptr[rows + 1]
-        seg_lengths = ends - starts
-        total = int(seg_lengths.sum())
-        ctx.add_counter("wedge_checks", total)
-        dest_csr = dodgr.csr(ctx)
-        q_rows = dodgr.rows_by_order_id()[src_csr.tgt_ids[qpositions]]
-        offsets = _np.concatenate(([0], _np.cumsum(seg_lengths)))
-        flat_src_pos = _np.arange(total, dtype=_np.int64) + _np.repeat(
-            starts - offsets[:-1], seg_lengths
-        )
-        candidate_ids = src_csr.tgt_ids[flat_src_pos]
-        adjacency = _row_adjacency(dest_csr, dodgr.order_count())
-        result = row_kernel(candidate_ids, offsets, q_rows, adjacency)
-        ctx.add_compute(int(result.comparisons))
-        matches = len(result)
-        if not matches:
-            return
-        ctx.add_counter("triangles_found", matches)
-        if callback is None:
-            return
-        ctx.add_compute(per_triangle_compute * matches)
-        batch = _columnar_push_batch(
-            src_csr, dest_csr, rows, qpositions, q_rows, flat_src_pos, result
-        )
-        _deliver_batch(ctx, batch, callback, batch_callback)
-
-    return _columnar_intersect_handler
-
-
-def _drive_columnar_push(
-    ctx,
-    dodgr: DODGraph,
-    csr: CSRAdjacency,
-    handler,
-    payload_overhead: int,
-    allowed_ids=None,
-) -> None:
-    """Array-native driver: account and coalesce one rank's candidate pushes.
-
-    Builds the rank's full wedge stream — (pivot row, q position) pairs in
-    legacy iteration order — as index arrays, computes every replaced
-    message's exact serialized size columnar-wise, accounts the stream
-    through :meth:`~repro.runtime.world.RankContext.account_rpc_bulk` (same
-    counters and buffer flush boundaries as the per-wedge walk), and fires
-    one batched RPC per destination rank.  ``allowed_ids`` restricts targets
-    to the given dense order-ids (the Push-Pull push phase); ``None`` pushes
-    to every target.
-    """
-    cols = csr.columns()
-    indptr = cols.indptr
-    out_degree = indptr[1:] - indptr[:-1]
-    wedge_counts = _np.where(out_degree >= 2, out_degree - 1, 0)
-    total = int(wedge_counts.sum())
-    if total == 0:
-        return
-    rows = _np.repeat(_np.arange(csr.num_rows, dtype=_np.int64), wedge_counts)
-    qpositions = (
-        _np.arange(total, dtype=_np.int64)
-        - _np.repeat(_np.cumsum(wedge_counts) - wedge_counts, wedge_counts)
-        + _np.repeat(indptr[:-1], wedge_counts)
+    if batched is None:
+        return False
+    warnings.warn(
+        "the batched= boolean is deprecated; select the engine explicitly "
+        "with engine='batched' (or engine='legacy')",
+        DeprecationWarning,
+        stacklevel=3,
     )
-    if allowed_ids is not None:
-        mask = _np.isin(csr.tgt_ids[qpositions], allowed_ids)
-        rows = rows[mask]
-        qpositions = qpositions[mask]
-        if rows.size == 0:
-            return
-    row_end = indptr[rows + 1]
-    dests = cols.tgt_owner[qpositions]
-    sizes = (
-        payload_overhead
-        + cols.row_wire[rows]
-        + cols.tgt_wire[qpositions]
-        + uvarint_size_array(row_end - 1 - qpositions)
-        + cols.cand_cumsum[row_end]
-        - cols.cand_cumsum[qpositions + 1]
-    )
-    ctx.account_rpc_bulk(dests, sizes)
-    order = _np.argsort(dests, kind="stable")
-    dests_sorted = dests[order]
-    unique_dests, group_starts = _np.unique(dests_sorted, return_index=True)
-    bounds = group_starts.tolist() + [dests_sorted.size]
-    rows_sorted = rows[order]
-    qpos_sorted = qpositions[order]
-    sizes_sorted = sizes[order]
-    for g, dest in enumerate(unique_dests.tolist()):
-        lo, hi = bounds[g], bounds[g + 1]
-        ctx.async_call_batched(
-            dest,
-            handler,
-            csr,
-            rows_sorted[lo:hi],
-            qpos_sorted[lo:hi],
-            virtual_rpcs=hi - lo,
-            virtual_bytes=int(sizes_sorted[lo:hi].sum()),
-        )
+    return bool(batched)
 
 
 def triangle_survey_push(
@@ -512,8 +107,8 @@ def triangle_survey_push(
     graph_name: Optional[str] = None,
     phase_name: str = PUSH_PHASE,
     callback_compute_units: int = DEFAULT_CALLBACK_COMPUTE_UNITS,
-    batched: bool = False,
-    engine: Optional[str] = None,
+    batched: Optional[bool] = None,
+    engine=None,
 ) -> SurveyReport:
     """Run the Push-Only triangle survey over ``dodgr``.
 
@@ -539,133 +134,33 @@ def triangle_survey_push(
         Abstract compute units charged per identified triangle when a
         callback is supplied (see :data:`DEFAULT_CALLBACK_COMPUTE_UNITS`).
     batched:
-        Run the batched engine: candidate pushes are coalesced per
-        ``(destination rank, q)`` and intersected with the vectorized batch
-        kernels over the CSR adjacency.  Identical results and identical
-        communication/compute accounting (byte-identical in every counter
-        unless the callback itself sends RPCs, in which case only the
-        flush-window split of follow-on messages may shift — see the module
-        docstring), faster host wall-clock.
+        Deprecated PR 1 selector; ``batched=True`` maps to
+        ``engine="batched"`` with a ``DeprecationWarning``.  Use ``engine=``.
     engine:
-        Explicit engine selector overriding ``batched``: ``"legacy"``,
-        ``"batched"`` or ``"columnar"``.  The columnar engine coalesces one
-        level above the batched engine — a single RPC per (source rank,
-        destination rank) pair, intersected in one row-kernel call — and
-        delivers triangles to the callback's ``callback_batch`` counterpart
-        (see :func:`resolve_batch_callback`) as
-        :class:`~repro.graph.metadata.TriangleBatch` columns; callbacks
-        without a batch counterpart run unchanged via the scalar fallback.
-        Same equivalence contract as the batched engine.
+        Engine selector: a registered engine name (``"legacy"`` — the
+        default, ``"batched"``, ``"columnar"``, ``"columnar-pull"``, ...),
+        an :class:`~repro.core.engine.EngineSpec`, or an
+        :class:`~repro.core.engine.EngineConfig` (which also pins ``kernel``
+        and ``callback_compute_units``).  Engines whose callbacks define a
+        ``callback_batch`` counterpart (see
+        :func:`~repro.core.engine.resolve_batch_callback`) receive triangles
+        as :class:`~repro.graph.metadata.TriangleBatch` columns where the
+        engine delivers columnar batches; callbacks without one run
+        unchanged via the scalar fallback.  Every engine shares the
+        equivalence contract described in the module docstring.
     """
-    world = dodgr.world
-    engine = _resolve_engine(engine, batched)
-    per_triangle_compute = callback_compute_units if callback is not None else 0
-    if reset_stats:
-        world.reset_stats()
-
-    intersect = INTERSECTION_KERNELS[kernel]
-
-    # ------------------------------------------------------------------
-    # RPC handler executed on Rank(q): intersect the pushed candidates with
-    # Adj^m_+(q) and run the callback for every match.
-    # ------------------------------------------------------------------
-    def _intersect_handler(
-        ctx,
-        q: Any,
-        p: Any,
-        meta_p: Any,
-        meta_pq: Any,
-        candidates: List[tuple],
-    ) -> None:
-        record = dodgr.local_store(ctx).get(q)
-        ctx.add_counter("wedge_checks", len(candidates))
-        if record is None:
-            return
-        adjacency = record["adj"]
-        meta_q = record["meta"]
-        result = intersect(candidates, adjacency, _candidate_key, entry_key)
-        ctx.add_compute(result.comparisons)
-        for cand_idx, adj_idx in result.matches:
-            r, _d_r, meta_pr = candidates[cand_idx]
-            _, _, meta_qr, meta_r = adjacency[adj_idx]
-            ctx.add_counter("triangles_found", 1)
-            if callback is not None:
-                ctx.add_compute(per_triangle_compute)
-                callback(
-                    ctx,
-                    TriangleMetadata(
-                        p=p,
-                        q=q,
-                        r=r,
-                        meta_p=meta_p,
-                        meta_q=meta_q,
-                        meta_r=meta_r,
-                        meta_pq=meta_pq,
-                        meta_pr=meta_pr,
-                        meta_qr=meta_qr,
-                    ),
-                )
-
-    if engine == "batched":
-        handler = world.register_handler(
-            _make_batched_intersect_handler(
-                dodgr, BATCH_KERNELS[kernel], callback, per_triangle_compute
-            )
-        )
-        payload_overhead = _legacy_push_payload_overhead(handler.handler_id)
-    elif engine == "columnar":
-        handler = world.register_handler(
-            _make_columnar_intersect_handler(
-                dodgr,
-                ROW_KERNELS[kernel],
-                callback,
-                resolve_batch_callback(callback),
-                per_triangle_compute,
-            )
-        )
-        payload_overhead = _legacy_push_payload_overhead(handler.handler_id)
-    else:
-        handler = world.register_handler(_intersect_handler)
-
-    # ------------------------------------------------------------------
-    # Driver loop: every rank walks its local pivots and pushes suffixes —
-    # one coalesced RPC per destination rank (columnar) or (destination, q)
-    # group (batched), one RPC per wedge otherwise.
-    # ------------------------------------------------------------------
-    host_start = time.perf_counter()
-    world.begin_phase(phase_name)
-    for ctx in world.ranks:
-        if engine == "columnar":
-            _drive_columnar_push(ctx, dodgr, dodgr.csr(ctx), handler, payload_overhead)
-            continue
-        if engine == "batched":
-            _drive_batched_push(ctx, dodgr.csr(ctx), handler, payload_overhead)
-            continue
-        store = dodgr.local_store(ctx)
-        for p, record in store.items():
-            adjacency = record["adj"]
-            if len(adjacency) < 2:
-                continue
-            meta_p = record["meta"]
-            for i in range(len(adjacency) - 1):
-                q, _d_q, meta_pq, _meta_q = adjacency[i]
-                # Candidate entries drop meta(r): Rank(q) already stores
-                # meta(r) in Adj^m_+(q) whenever Δpqr exists (Section 4.3).
-                candidates = [
-                    (entry[0], entry[1], entry[2]) for entry in adjacency[i + 1 :]
-                ]
-                # Sized delivery: exact legacy wire accounting, no codec run
-                # for what is (in-process) an accounting-only payload.
-                ctx.async_call_sized(dodgr.owner(q), handler, q, p, meta_p, meta_pq, candidates)
-    world.barrier()
-    host_seconds = time.perf_counter() - host_start
-
-    simulated = world.simulated_time(phases=[phase_name])
-    return SurveyReport.from_world_stats(
-        algorithm="push",
-        graph_name=graph_name or dodgr.name,
-        world_stats=world.stats,
-        simulated=simulated,
-        phases=[phase_name],
-        host_seconds=host_seconds,
+    engine, kernel, callback_compute_units = split_engine_selector(
+        engine, kernel, callback_compute_units
     )
+    spec = resolve_engine(engine, batched=_handle_deprecated_batched(batched))
+    request = SurveyRequest(
+        dodgr=dodgr,
+        callback=callback,
+        algorithm="push",
+        kernel=kernel,
+        reset_stats=reset_stats,
+        graph_name=graph_name,
+        phase_name=phase_name,
+        callback_compute_units=callback_compute_units,
+    )
+    return run_push_survey(request, spec).report

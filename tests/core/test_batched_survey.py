@@ -124,10 +124,13 @@ class TestBatchedAgainstOracle:
         assert report.triangles == expected
 
     def test_dispatcher_batched_matches_networkx(self, small_er):
+        # batched=True is the deprecated PR 1 selector: it must still map to
+        # the batched engine (one release of back-compat), but warn.
         expected = triangle_count_nx((u, v) for u, v, _ in small_er.edges)
         world = World(4)
         dodgr = DODGraph.build(small_er.to_distributed(world), mode="bulk")
-        report = triangle_survey(dodgr, algorithm="push_pull", batched=True)
+        with pytest.warns(DeprecationWarning, match="batched= boolean is deprecated"):
+            report = triangle_survey(dodgr, algorithm="push_pull", batched=True)
         assert report.triangles == expected
 
     def test_batched_runs_reuse_same_dodgr(self, small_er):

@@ -1,0 +1,300 @@
+"""Unit tests for the engine registry, EngineConfig and the batched= deprecation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import triangle_survey, triangle_survey_push, triangle_survey_push_pull
+from repro.core.callbacks import LocalTriangleCounter, TriangleCounter
+from repro.core.engine import (
+    EngineConfig,
+    EngineSpec,
+    SurveyRequest,
+    default_engine,
+    engine_names,
+    execute_survey,
+    incremental_engine_names,
+    register_engine,
+    registered_engines,
+    resolve_engine,
+    resolve_incremental_engine,
+    split_engine_selector,
+)
+from repro.core.engine import registry as registry_module
+from repro.graph import DODGraph, community_host_graph
+from repro.graph.generators import erdos_renyi
+from repro.runtime import World
+
+
+def build_dodgr(generated, nranks):
+    world = World(nranks)
+    return world, DODGraph.build(generated.to_distributed(world), mode="bulk")
+
+
+class TestRegistry:
+    def test_builtin_engines_registered_in_order(self):
+        assert engine_names()[:4] == ("legacy", "batched", "columnar", "columnar-pull")
+        assert [spec.name for spec in registered_engines()[:4]] == list(engine_names()[:4])
+
+    def test_resolve_defaults(self):
+        assert resolve_engine(None).name == "legacy"
+        assert resolve_engine(None, batched=True).name == "batched"
+        assert resolve_engine("columnar").name == "columnar"
+        assert resolve_engine(resolve_engine("batched")).name == "batched"
+        assert resolve_engine(EngineConfig(engine="columnar-pull")).name == "columnar-pull"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown survey engine"):
+            resolve_engine("bogus")
+
+    def test_unregistered_spec_rejected(self):
+        foreign = EngineSpec(name="legacy", description="an impostor spec")
+        with pytest.raises(ValueError, match="not the registered spec"):
+            resolve_engine(foreign)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine(EngineSpec(name="legacy", description="dup"))
+
+    def test_incremental_engine_names(self):
+        names = incremental_engine_names()
+        assert "legacy" in names and "columnar" in names
+        assert "batched" not in names  # no incremental form
+        with pytest.raises(ValueError, match="unknown incremental engine"):
+            resolve_incremental_engine("batched")
+        assert resolve_incremental_engine("columnar-pull").incremental_style == "columnar"
+
+    def test_incremental_numpy_downgrade_goes_to_legacy(self, monkeypatch):
+        """Without NumPy the delta survey falls back to its scalar reference,
+        not along the full-survey fallback chain (batched has no incremental
+        form) — the pre-refactor behaviour."""
+        monkeypatch.setattr(registry_module, "_np", None)
+        assert resolve_incremental_engine(None).name == "legacy"
+        assert resolve_incremental_engine("columnar").name == "legacy"
+        assert resolve_incremental_engine("columnar-pull").name == "legacy"
+        # Full surveys still follow the declared fallback chain.
+        assert resolve_engine("columnar").name == "batched"
+
+    def test_columnar_pull_is_pure_composition(self):
+        """The new engine is a registry entry, not a new driver."""
+        spec = resolve_engine("columnar-pull")
+        assert spec.push_style == "batched"
+        assert spec.pull_style == "columnar"
+        assert spec.proposal_style == "batched"
+        assert spec.fallback == "batched"
+
+    def test_user_registered_engine_runs(self, small_er):
+        """A new composition registered through the public API is selectable
+        from the normal entry points and stays on the equivalence contract."""
+        name = "test-legacy-pull"
+        register_engine(
+            EngineSpec(
+                name=name,
+                description="columnar pushes, legacy pull (test-only)",
+                push_style="columnar",
+                pull_style="legacy",
+                proposal_style="batched",
+                requires_numpy=True,
+                fallback="batched",
+            )
+        )
+        try:
+            _, dodgr = build_dodgr(small_er, 4)
+            oracle = triangle_survey_push_pull(dodgr, engine="legacy")
+            report = triangle_survey_push_pull(dodgr, engine=name)
+            assert report.triangles == oracle.triangles
+            assert report.communication_bytes == oracle.communication_bytes
+        finally:
+            registry_module._REGISTRY.pop(name)
+
+
+class TestSurveyRequest:
+    def test_execute_survey_dispatch(self, small_er):
+        _, dodgr = build_dodgr(small_er, 4)
+        expected = triangle_survey_push(dodgr, engine="legacy").triangles
+        for algorithm in ("push", "push_pull"):
+            result = execute_survey(
+                SurveyRequest(dodgr=dodgr, algorithm=algorithm), engine="columnar"
+            )
+            assert result.engine == "columnar"
+            assert result.report.triangles == expected
+        with pytest.raises(ValueError, match="unknown survey algorithm"):
+            execute_survey(SurveyRequest(dodgr=dodgr, algorithm="sideways"))
+
+
+class TestEngineConfig:
+    def test_coerce(self):
+        assert EngineConfig.coerce(None) == EngineConfig()
+        assert EngineConfig.coerce("columnar").engine == "columnar"
+        config = EngineConfig(engine="batched", kernel="hash")
+        assert EngineConfig.coerce(config) is config
+        assert EngineConfig.coerce(resolve_engine("batched")).engine == "batched"
+        with pytest.raises(TypeError):
+            EngineConfig.coerce(42)
+
+        class Impostor:  # duck-typed .name must NOT pass as an EngineSpec
+            name = "legacy"
+
+        with pytest.raises(TypeError):
+            EngineConfig.coerce(Impostor())
+
+    def test_split_engine_selector_config_wins(self):
+        config = EngineConfig(engine="columnar", kernel="hash", callback_compute_units=3)
+        assert split_engine_selector(config, "merge_path", 10) == ("columnar", "hash", 3)
+        # Unset compute units keep the entry point's value.
+        config = EngineConfig(engine="columnar", kernel="binary_search")
+        assert split_engine_selector(config, "merge_path", 10) == (
+            "columnar",
+            "binary_search",
+            10,
+        )
+        # Plain strings / None pass straight through.
+        assert split_engine_selector("batched", "merge_path", 10) == (
+            "batched",
+            "merge_path",
+            10,
+        )
+        assert split_engine_selector(None, "hash", 0) == (None, "hash", 0)
+        # A config (or spec) that does NOT pin the kernel must preserve the
+        # caller's explicit kernel= argument, never reset it to merge_path.
+        assert split_engine_selector(EngineConfig(engine="columnar"), "hash", 7) == (
+            "columnar",
+            "hash",
+            7,
+        )
+        assert split_engine_selector(resolve_engine("columnar"), "hash", 7) == (
+            "columnar",
+            "hash",
+            7,
+        )
+
+    def test_default_engine_fills_unset_name_only(self):
+        assert default_engine(None, "columnar") == "columnar"
+        filled = default_engine(EngineConfig(kernel="hash"), "columnar")
+        assert filled.engine == "columnar" and filled.kernel == "hash"
+        # Pinned selectors pass through untouched.
+        assert default_engine("legacy", "columnar") == "legacy"
+        pinned = EngineConfig(engine="batched")
+        assert default_engine(pinned, "columnar") is pinned
+
+    def test_incremental_default_survives_kernel_only_config(self):
+        """EngineConfig(kernel=...) with engine unset keeps the incremental
+        layer's columnar default instead of falling through to legacy."""
+        assert resolve_incremental_engine(EngineConfig(kernel="hash")).name == "columnar"
+
+    def test_analysis_keeps_columnar_default_with_kernel_only_config(
+        self, small_er, monkeypatch
+    ):
+        """The analysis layer's documented columnar default survives a
+        kernel-only EngineConfig (the 'pin just the kernel' use)."""
+        import repro.core.push_pull as push_pull_module
+        from repro.analysis import run_clustering_coefficients
+
+        resolved = []
+        real = push_pull_module.resolve_engine
+
+        def recording_resolve(engine=None, batched=False):
+            spec = real(engine, batched)
+            resolved.append(spec.name)
+            return spec
+
+        monkeypatch.setattr(push_pull_module, "resolve_engine", recording_resolve)
+        world = World(4)
+        graph = small_er.to_distributed(world)
+        run_clustering_coefficients(graph, engine=EngineConfig(kernel="hash"))
+        assert resolved == ["columnar"]
+
+    def test_config_selects_engine_end_to_end(self, small_er):
+        """One EngineConfig drives the survey exactly like loose keywords."""
+        _, dodgr = build_dodgr(small_er, 4)
+        loose = triangle_survey_push(dodgr, kernel="hash", engine="columnar")
+        config = triangle_survey_push(
+            dodgr, engine=EngineConfig(engine="columnar", kernel="hash")
+        )
+        assert config.triangles == loose.triangles
+        assert config.communication_bytes == loose.communication_bytes
+        assert config.wire_messages == loose.wire_messages
+
+
+class TestBatchedDeprecation:
+    @pytest.mark.parametrize("survey", [triangle_survey_push, triangle_survey_push_pull])
+    def test_batched_true_warns_and_maps(self, small_er, survey):
+        _, dodgr = build_dodgr(small_er, 4)
+        oracle = survey(dodgr, engine="batched")
+        with pytest.warns(DeprecationWarning, match="batched= boolean is deprecated"):
+            report = survey(dodgr, batched=True)
+        assert report.triangles == oracle.triangles
+        assert report.communication_bytes == oracle.communication_bytes
+        assert report.wire_messages == oracle.wire_messages
+
+    def test_dispatcher_warning_attributed_to_caller(self, small_er):
+        """The deprecation notice through triangle_survey() must point at the
+        user's call site, not at library frames (Python's default filters
+        only show DeprecationWarning attributed to the caller's module)."""
+        _, dodgr = build_dodgr(small_er, 4)
+        with pytest.warns(DeprecationWarning) as record:
+            triangle_survey(dodgr, algorithm="push", batched=True)
+        assert record[0].filename == __file__
+
+    def test_batched_false_warns_and_maps_to_legacy(self, small_er):
+        _, dodgr = build_dodgr(small_er, 4)
+        oracle = triangle_survey_push(dodgr, engine="legacy")
+        with pytest.warns(DeprecationWarning):
+            report = triangle_survey_push(dodgr, batched=False)
+        assert report.communication_bytes == oracle.communication_bytes
+
+    def test_default_emits_no_warning(self, small_er, recwarn):
+        _, dodgr = build_dodgr(small_er, 4)
+        triangle_survey_push(dodgr)
+        assert not [w for w in recwarn.list if issubclass(w.category, DeprecationWarning)]
+
+    def test_explicit_engine_wins_over_batched(self, small_er):
+        _, dodgr = build_dodgr(small_er, 4)
+        oracle = triangle_survey_push(dodgr, engine="columnar")
+        with pytest.warns(DeprecationWarning):
+            report = triangle_survey_push(dodgr, batched=True, engine="columnar")
+        assert report.communication_bytes == oracle.communication_bytes
+
+
+class TestColumnarPullEngine:
+    def test_pull_path_parity_with_real_pulls(self):
+        """columnar-pull on a pull-heavy graph: panels and wire totals match
+        legacy exactly, and the graph actually pulls."""
+        generated = community_host_graph(
+            300,
+            community_size=100,
+            intra_probability=0.3,
+            cross_links_per_vertex=0.5,
+            seed=4,
+        )
+        panels = {}
+        reports = {}
+        for engine in ("legacy", "columnar-pull"):
+            world = World(4)
+            dodgr = DODGraph.build(generated.to_distributed(world), mode="bulk")
+            reducer = LocalTriangleCounter(world)
+            reports[engine] = triangle_survey_push_pull(
+                dodgr, reducer.callback, engine=engine
+            )
+            reducer.finalize()
+            panels[engine] = reducer.snapshot()
+        assert reports["legacy"].vertices_pulled > 0
+        assert panels["columnar-pull"] == panels["legacy"]
+        for field in (
+            "triangles",
+            "communication_bytes",
+            "wire_messages",
+            "wedge_checks",
+            "vertices_pulled",
+        ):
+            assert getattr(reports["columnar-pull"], field) == getattr(
+                reports["legacy"], field
+            ), field
+
+    def test_selectable_from_dispatcher_and_push(self, small_er):
+        _, dodgr = build_dodgr(small_er, 4)
+        counter = TriangleCounter(dodgr.world)
+        report = triangle_survey(
+            dodgr, counter.callback, algorithm="push", engine="columnar-pull"
+        )
+        assert counter.result() == report.triangles

@@ -69,3 +69,24 @@ def test_linkcheck_catches_broken_links(tmp_path):
     errors = linkcheck.check_file(bad)
     assert len(errors) == 2
     assert "missing.md" in errors[0] and "nope" in errors[1]
+
+
+def test_engine_registry_matches_readme_table():
+    """Mirror of tools/check_engines.py check 1: docs and registry agree."""
+    import check_engines
+
+    from repro.core.engine import engine_names
+
+    documented = check_engines.documented_engines(REPO_ROOT / "README.md")
+    assert documented == engine_names(), (
+        "README engine-selector table and the engine registry disagree; "
+        "update the table in README.md (or the registrations in "
+        "src/repro/core/engine/registry.py)"
+    )
+
+
+def test_engine_smoke_tool_passes():
+    """Mirror of tools/check_engines.py check 2: every engine parity-clean."""
+    import check_engines
+
+    assert check_engines.main() == 0

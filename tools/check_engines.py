@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Engine registry smoke: docs and registry agree, every engine runs clean.
+
+Two checks, exit status 1 on any failure (each printed to stderr):
+
+1. **Listing parity** — the engine names in README.md's engine-selector
+   table (the rows of the ``| Engine |`` table) must equal the registry
+   (:func:`repro.core.engine.engine_names`), in order.  Registering an
+   engine without documenting it — or documenting one that does not exist —
+   fails CI.
+2. **Execution parity** — every registered engine runs a tiny survey (both
+   algorithms, a graph small enough for CI seconds) and must match the
+   legacy oracle exactly: reducer panel, triangle count, communicated
+   bytes, wire messages.
+
+Used by the docs CI job (``python tools/check_engines.py``) and mirrored in
+``tests/docs/test_docs.py`` so registry/README drift fails tier-1 first.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import triangle_survey_push, triangle_survey_push_pull  # noqa: E402
+from repro.core.callbacks import LocalTriangleCounter  # noqa: E402
+from repro.core.engine import engine_names  # noqa: E402
+from repro.graph import DODGraph  # noqa: E402
+from repro.graph.generators import erdos_renyi  # noqa: E402
+from repro.runtime import World  # noqa: E402
+
+#: First cell of each engine-table row: ``| `name` | ...``.
+_ENGINE_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+
+SMOKE_RANKS = 4
+SMOKE_GRAPH = dict(num_vertices=40, edge_probability=0.25, seed=11)
+
+
+def documented_engines(readme: Path) -> Tuple[str, ...]:
+    """Engine names listed in the README's engine-selector table, in order."""
+    names: List[str] = []
+    in_table = False
+    for line in readme.read_text(encoding="utf-8").splitlines():
+        if line.startswith("| Engine |"):
+            in_table = True
+            continue
+        if in_table:
+            if not line.startswith("|"):
+                break
+            match = _ENGINE_ROW.match(line)
+            if match:
+                names.append(match.group(1))
+    return tuple(names)
+
+
+def run_smoke(engine: str, algorithm: str):
+    """One fresh-world survey: (panel, triangles, comm bytes, wire messages)."""
+    generated = erdos_renyi(**SMOKE_GRAPH)
+    world = World(SMOKE_RANKS)
+    dodgr = DODGraph.build(generated.to_distributed(world), mode="bulk")
+    reducer = LocalTriangleCounter(world)
+    survey = triangle_survey_push if algorithm == "push" else triangle_survey_push_pull
+    report = survey(dodgr, reducer.callback, engine=engine)
+    reducer.finalize()
+    return (
+        reducer.snapshot(),
+        report.triangles,
+        report.communication_bytes,
+        report.wire_messages,
+    )
+
+
+def main() -> int:
+    errors: List[str] = []
+
+    registered = engine_names()
+    documented = documented_engines(REPO_ROOT / "README.md")
+    if documented != registered:
+        errors.append(
+            f"README engine table {documented!r} != registry {registered!r}"
+        )
+
+    for algorithm in ("push", "push_pull"):
+        oracle = run_smoke("legacy", algorithm)
+        for engine in registered:
+            if engine == "legacy":
+                continue
+            result = run_smoke(engine, algorithm)
+            if result != oracle:
+                errors.append(
+                    f"{engine}/{algorithm}: parity smoke failed "
+                    f"(panel/triangles/bytes/messages {result[1:]} vs "
+                    f"legacy {oracle[1:]})"
+                )
+
+    if errors:
+        for error in errors:
+            print(f"check_engines: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"check_engines: {len(registered)} engines documented and parity-clean "
+        f"({', '.join(registered)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
