@@ -1,0 +1,94 @@
+"""Scenario sweep smoke — sampled worlds × the full engine registry (ISSUE 6).
+
+Not a figure from the paper: this benchmark runs the ``repro.sweep``
+harness on a tiny fixed sample (≤ 8 configs, ≤ 4 ranks) with per-cell
+parity assertions on, and emits the resulting coverage map as the tabular
+artifact CI uploads next to the other benchmark tables.  It is the smoke
+variant of ``python -m repro.sweep --sample 30 --seed 0``; the sweep docs
+(``docs/sweeps.md``) describe how to read the map.
+
+Gates:
+
+* **engine axis** — the sweep's engine axis must equal the live registry
+  (``tools/check_engines.py`` asserts the same from outside pytest), so a
+  newly registered engine can never be silently missing from coverage;
+* **parity** — every non-legacy cell must match the legacy oracle on
+  reducer panel, triangle count, wire bytes, wire messages and wedge
+  checks (:class:`repro.sweep.SweepParityError` otherwise);
+* **coverage** — every sampled config produces a cell for every engine on
+  the full-survey analyses, and for every incremental engine on streaming.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _artifacts import emit, emit_json
+from repro.core.engine import engine_names, incremental_engine_names
+from repro.sweep import (
+    config_digest,
+    format_sweep_table,
+    run_sweep,
+    sample_space,
+    sweep_payload,
+    sweep_engine_axis,
+    world_spec_names,
+)
+
+SMOKE_SAMPLE = 8
+SMOKE_SEED = 0
+
+
+def _smoke_configs():
+    configs = sample_space(world_spec_names(), SMOKE_SAMPLE, seed=SMOKE_SEED)
+    # CI smoke contract: small worlds, bounded rank counts.
+    assert len(configs) == SMOKE_SAMPLE
+    assert all(config.nranks <= 4 for config in configs)
+    return configs
+
+
+def test_sweep_engine_axis_matches_registry():
+    assert sweep_engine_axis() == engine_names()
+
+
+def test_scenario_sweep_smoke(benchmark):
+    configs = _smoke_configs()
+    result = benchmark.pedantic(
+        lambda: run_sweep(configs, strict_parity=True),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Coverage: one cell per engine per config on full-survey analyses,
+    # one per incremental engine on streaming.
+    full_engines = set(engine_names())
+    incremental = set(incremental_engine_names())
+    for config in configs:
+        for analysis in ("triangle", "closure", "labels"):
+            seen = {
+                cell.engine
+                for cell in result.cells
+                if cell.config_id == config.config_id() and cell.analysis == analysis
+            }
+            assert seen == full_engines
+        streamed = {
+            cell.engine
+            for cell in result.cells
+            if cell.config_id == config.config_id() and cell.analysis == "streaming"
+        }
+        assert streamed == incremental
+
+    assert not result.parity_failures()
+
+    payload = sweep_payload(result, sample=SMOKE_SAMPLE, seed=SMOKE_SEED)
+    payload["config_digest"] = config_digest(configs)
+    emit_json("bench_scenario_sweep", payload)
+    emit(
+        format_sweep_table(
+            result,
+            title=(
+                f"Scenario sweep smoke: {len(configs)} configs x "
+                f"{len(result.engines)} engines (seed={SMOKE_SEED})"
+            ),
+        )
+    )

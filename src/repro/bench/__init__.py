@@ -4,6 +4,7 @@ from .comparison import DEFAULT_SYSTEMS, ComparisonResult, SystemResult, compare
 from .datasets import DATASETS, StandInDataset, bench_scale, dataset_names, load_dataset
 from .reporting import (
     format_histogram,
+    format_markdown_table,
     format_kv,
     format_matrix,
     format_series,
@@ -45,6 +46,7 @@ __all__ = [
     "compare_systems",
     "DEFAULT_SYSTEMS",
     "format_table",
+    "format_markdown_table",
     "format_kv",
     "format_series",
     "format_histogram",

@@ -12,6 +12,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 __all__ = [
     "format_table",
+    "format_markdown_table",
     "format_kv",
     "format_series",
     "format_histogram",
@@ -79,6 +80,41 @@ def format_table(
     lines.append("  ".join("-" * widths[i] for i in range(len(header))))
     for line in body:
         lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table.
+
+    Same row/column semantics as :func:`format_table` (column order defaults
+    to first-seen key order), but pipe-delimited so the output drops
+    straight into a ``.md`` artifact — the sweep harness's coverage map uses
+    this for its human-readable half.  Cell text is escaped minimally
+    (pipes only); a ``title`` becomes a bold caption line.
+    """
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    header = list(columns)
+
+    def cell(value: Any) -> str:
+        return _stringify(value).replace("|", "\\|")
+
+    lines: List[str] = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join(" --- " for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(cell(row.get(col)) for col in header) + " |")
     return "\n".join(lines)
 
 

@@ -1,0 +1,188 @@
+"""Sweep reporting: one tabular artifact (JSON + markdown) per run.
+
+The JSON payload (schema ``repro.sweep/v1``) is what CI uploads next to
+``bench_artifacts.json``; the markdown rendering is the human-readable
+coverage map.  Both carry the same rows — config × engine × analysis —
+plus a "slow/fail regions" section listing the cells where a fast engine
+lost to ``legacy`` or parity failed (non-empty exactly when the sweep
+found regressions).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..bench.reporting import format_markdown_table, format_table
+from .runner import SweepResult
+from .worlds import WorldConfig
+
+__all__ = [
+    "SWEEP_SCHEMA",
+    "sweep_payload",
+    "format_sweep_table",
+    "format_sweep_markdown",
+    "write_sweep_artifacts",
+]
+
+#: Schema tag stamped into every JSON artifact so downstream diff tooling
+#: can refuse payloads it does not understand.
+SWEEP_SCHEMA = "repro.sweep/v1"
+
+#: Column order for the tabular renderings (JSON rows keep every field).
+_TABLE_COLUMNS = (
+    "config",
+    "spec",
+    "engine",
+    "analysis",
+    "triangles",
+    "comm_bytes",
+    "wire_messages",
+    "host_seconds",
+    "slowdown_vs_legacy",
+    "parity_ok",
+)
+
+
+def _describe_configs(configs: Sequence[WorldConfig]) -> List[Dict[str, Any]]:
+    return [
+        {
+            "config": config.config_id(),
+            "spec": config.spec,
+            "generator": config.generator,
+            "params": config.param_dict(),
+            "nranks": config.nranks,
+            "metadata_cardinality": config.metadata_cardinality,
+            "burstiness": config.burstiness,
+            "num_batches": config.num_batches,
+            "base_fraction": config.base_fraction,
+            "seed": config.seed,
+            "index": config.index,
+        }
+        for config in configs
+    ]
+
+
+def sweep_payload(
+    result: SweepResult,
+    sample: Optional[int] = None,
+    seed: Optional[int] = None,
+    specs: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """The machine-readable artifact for one sweep run."""
+    regressions = result.regressions()
+    return {
+        "schema": SWEEP_SCHEMA,
+        "sample": sample if sample is not None else len(result.configs),
+        "seed": seed,
+        "specs": list(specs) if specs is not None else sorted(
+            {config.spec for config in result.configs}
+        ),
+        "engines": list(result.engines),
+        "analyses": list(result.analyses),
+        "slow_tolerance": result.slow_tolerance,
+        "configs": _describe_configs(result.configs),
+        "rows": result.rows(),
+        "regressions": regressions,
+        "counts": {
+            "configs": len(result.configs),
+            "cells": len(result.cells),
+            "slow": len(regressions["slow"]),
+            "parity_failures": len(regressions["parity"]),
+        },
+    }
+
+
+def format_sweep_table(result: SweepResult, title: str = "scenario sweep") -> str:
+    """Aligned plain-text coverage map (``bench_artifacts.txt`` style)."""
+    lines = [
+        format_table(result.rows(), columns=list(_TABLE_COLUMNS), title=title),
+        "",
+        _format_regions_text(result),
+    ]
+    return "\n".join(lines)
+
+
+def _format_regions_text(result: SweepResult) -> str:
+    regressions = result.regressions()
+    lines = ["slow/fail regions"]
+    if not regressions["slow"] and not regressions["parity"]:
+        lines.append("  (none — every engine matched legacy and held its speed)")
+        return "\n".join(lines)
+    for entry in regressions["parity"]:
+        lines.append(f"  PARITY {entry['cell']}: {entry['parity_detail']}")
+    for entry in regressions["slow"]:
+        lines.append(
+            f"  SLOW   {entry['cell']}: "
+            f"{entry['slowdown_vs_legacy']:.2f}x legacy host time"
+        )
+    return "\n".join(lines)
+
+
+def format_sweep_markdown(
+    result: SweepResult,
+    sample: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """The human-readable half of the artifact: a markdown coverage map."""
+    counts = sweep_payload(result, sample=sample, seed=seed)["counts"]
+    header = [
+        "# Scenario sweep coverage map",
+        "",
+        f"- configs: {counts['configs']}",
+        f"- engines: {', '.join(result.engines)}",
+        f"- analyses: {', '.join(result.analyses)}",
+        f"- cells: {counts['cells']}",
+        f"- seed: {seed if seed is not None else '-'}",
+        "",
+        "## Cells",
+        "",
+        format_markdown_table(result.rows(), columns=list(_TABLE_COLUMNS)),
+        "",
+        "## Slow/fail regions",
+        "",
+    ]
+    regressions = result.regressions()
+    if not regressions["slow"] and not regressions["parity"]:
+        header.append("None — every engine matched `legacy` and held its speed.")
+    else:
+        region_rows = [
+            {
+                "kind": "parity",
+                "cell": entry["cell"],
+                "detail": entry["parity_detail"],
+            }
+            for entry in regressions["parity"]
+        ] + [
+            {
+                "kind": "slow",
+                "cell": entry["cell"],
+                "detail": f"{entry['slowdown_vs_legacy']:.2f}x legacy host time",
+            }
+            for entry in regressions["slow"]
+        ]
+        header.append(format_markdown_table(region_rows, columns=["kind", "cell", "detail"]))
+    header.append("")
+    return "\n".join(header)
+
+
+def write_sweep_artifacts(
+    result: SweepResult,
+    json_path: Union[str, Path],
+    markdown_path: Optional[Union[str, Path]] = None,
+    sample: Optional[int] = None,
+    seed: Optional[int] = None,
+    specs: Optional[Sequence[str]] = None,
+) -> Tuple[Path, Optional[Path]]:
+    """Write the JSON payload (and optionally the markdown map) to disk."""
+    json_path = Path(json_path)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    payload = sweep_payload(result, sample=sample, seed=seed, specs=specs)
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    md_path: Optional[Path] = None
+    if markdown_path is not None:
+        md_path = Path(markdown_path)
+        md_path.parent.mkdir(parents=True, exist_ok=True)
+        md_path.write_text(format_sweep_markdown(result, sample=sample, seed=seed))
+    return json_path, md_path

@@ -255,6 +255,23 @@ class TestBatchedDeprecation:
             report = triangle_survey_push(dodgr, batched=True, engine="columnar")
         assert report.communication_bytes == oracle.communication_bytes
 
+    def test_batched_true_panel_parity(self, small_er):
+        """The shim must route through the real batched engine: the reducer
+        panel a ``batched=True`` run produces is bit-identical to an
+        explicit ``engine="batched"`` run, not just the counters."""
+        panels = {}
+        for kwargs in ({"engine": "batched"}, {"batched": True}):
+            world, dodgr = build_dodgr(small_er, 4)
+            reducer = LocalTriangleCounter(world)
+            if "batched" in kwargs:
+                with pytest.warns(DeprecationWarning):
+                    triangle_survey_push(dodgr, reducer.callback, **kwargs)
+            else:
+                triangle_survey_push(dodgr, reducer.callback, **kwargs)
+            reducer.finalize()
+            panels[tuple(kwargs)] = reducer.snapshot()
+        assert panels[("engine",)] == panels[("batched",)]
+
 
 class TestColumnarPullEngine:
     def test_pull_path_parity_with_real_pulls(self):

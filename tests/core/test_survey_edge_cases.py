@@ -104,3 +104,76 @@ class TestFailureBehaviour:
         free = triangle_survey_push(dodgr, lambda ctx, tri: None, callback_compute_units=0)
         assert charged.triangles == free.triangles
         assert free.simulated_seconds <= charged.simulated_seconds
+
+
+class TestDegenerateWorlds:
+    """The sweep harness's boundary worlds, driven through every engine.
+
+    ``repro.sweep.degenerate_world_configs`` pins these same shapes for the
+    sweep runner (``tests/sweep/test_runner.py``); here each one is pushed
+    through ``execute_survey`` per registered engine so a failure names the
+    engine, not the harness.
+    """
+
+    @staticmethod
+    def _survey(world, edges, engine, vertex_meta=None):
+        from repro.core.engine import SurveyRequest, execute_survey
+
+        graph = DistributedGraph.from_edges(world, edges, vertex_meta=vertex_meta or {})
+        dodgr = DODGraph.build(graph)
+        return execute_survey(SurveyRequest(dodgr=dodgr), engine=engine).report
+
+    @staticmethod
+    def _engines():
+        from repro.core.engine import engine_names
+
+        return engine_names()
+
+    def test_empty_graph_every_engine(self, world4):
+        for engine in self._engines():
+            report = self._survey(world4, [], engine)
+            assert report.triangles == 0
+            assert report.wire_messages == 0
+
+    def test_single_vertex_every_engine(self, world4):
+        for engine in self._engines():
+            report = self._survey(world4, [], engine, vertex_meta={0: "lonely"})
+            assert report.triangles == 0
+
+    def test_single_rank_every_engine(self):
+        edges = [(1, 2), (2, 3), (1, 3), (3, 4)]
+        for engine in self._engines():
+            report = self._survey(World(1), edges, engine)
+            assert report.triangles == 1
+            # one rank: every wedge check is local, nothing crosses the wire
+            assert report.communication_bytes == 0
+
+    def test_self_loop_and_duplicate_heavy_columns_every_engine(self, world4):
+        edges = (
+            [(v, v, "loop") for v in range(5)]
+            + [(1, 2, "dup")] * 4
+            + [(2, 3, "x"), (1, 3, "y"), (3, 3, "loop-again")]
+        )
+        for engine in self._engines():
+            report = self._survey(world4, edges, engine)
+            assert report.triangles == 1
+
+    def test_all_new_edges_delta_every_incremental_engine(self, world4):
+        """Cold start: one all-new delta batch == the full survey."""
+        from repro.core.engine import incremental_engine_names
+        from repro.core.incremental import StreamingSurvey
+        from repro.core.callbacks import LocalTriangleCounter
+
+        edges = [(1, 2, None), (2, 3, None), (1, 3, None), (3, 4, None)]
+        full_world = World(world4.nranks)
+        full_graph = DistributedGraph.from_edges(full_world, edges)
+        full_reducer = LocalTriangleCounter(full_world)
+        full = triangle_survey_push(DODGraph.build(full_graph), full_reducer.callback)
+        full_reducer.finalize()
+        for engine in incremental_engine_names():
+            world = World(world4.nranks)
+            survey = StreamingSurvey(world, LocalTriangleCounter, engine=engine)
+            step = survey.ingest(edges)
+            assert step.report.triangles == full.triangles, engine
+            assert step.cumulative == full_reducer.snapshot(), engine
+            assert step.report.communication_bytes == full.communication_bytes, engine

@@ -24,6 +24,7 @@ def test_required_documents_exist():
         "docs/architecture.md",
         "docs/reducers.md",
         "docs/benchmarks.md",
+        "docs/sweeps.md",
     ):
         path = REPO_ROOT / name
         assert path.is_file() and path.stat().st_size > 0, name
@@ -85,8 +86,18 @@ def test_engine_registry_matches_readme_table():
     )
 
 
+def test_sweep_engine_axis_matches_registry():
+    """Mirror of tools/check_engines.py check 3: the scenario sweep's engine
+    axis is the live registry, so the coverage map can't drop an engine."""
+    from repro.core.engine import engine_names
+    from repro.sweep import sweep_engine_axis
+
+    assert sweep_engine_axis() == engine_names()
+
+
 def test_engine_smoke_tool_passes():
-    """Mirror of tools/check_engines.py check 2: every engine parity-clean."""
+    """Mirror of tools/check_engines.py checks 2+3: every engine
+    parity-clean and on the sweep axis."""
     import check_engines
 
     assert check_engines.main() == 0

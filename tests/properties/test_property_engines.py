@@ -15,7 +15,8 @@ from hypothesis import strategies as st
 
 from repro.core import triangle_survey_push, triangle_survey_push_pull
 from repro.core.callbacks import LocalTriangleCounter
-from repro.core.engine import engine_names
+from repro.core.engine import engine_names, incremental_engine_names
+from repro.core.incremental import StreamingSurvey
 from repro.graph import DODGraph
 from repro.graph.generators import erdos_renyi, rmat
 from repro.runtime import World
@@ -74,3 +75,80 @@ def test_all_registered_engines_agree(generated, nranks, algorithm):
         assert report.vertices_pulled == oracle.vertices_pulled, context
         # RPC-free reducer: even the flush-window split must replay.
         assert report.wire_messages == oracle.wire_messages, context
+
+
+# ---------------------------------------------------------------------------
+# Incremental/delta path (ISSUE 6 satellite)
+# ---------------------------------------------------------------------------
+
+
+def replay_stream(generated, batches, nranks, engine):
+    """Replay an edge-batch schedule; (cumulative panel, summed counters)."""
+    world = World(nranks)
+    survey = StreamingSurvey(world, LocalTriangleCounter, engine=engine)
+    totals = {"triangles": 0, "bytes": 0, "messages": 0, "wedges": 0}
+    step = None
+    for batch in batches:
+        step = survey.ingest(batch)
+        totals["triangles"] += step.report.triangles
+        totals["bytes"] += step.report.communication_bytes
+        totals["messages"] += step.report.wire_messages
+        totals["wedges"] += step.report.wedge_checks
+    panel = step.cumulative if step is not None else None
+    return panel, totals
+
+
+@st.composite
+def graphs_with_batches(draw):
+    """A random graph plus a random DeltaBuffer batch schedule over it."""
+    generated = draw(random_generated_graphs())
+    edges = list(generated.edges)
+    if len(edges) < 2:
+        return generated, [edges] if edges else []
+    num_cuts = draw(st.integers(min_value=0, max_value=min(4, len(edges) - 1)))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=len(edges) - 1),
+                min_size=num_cuts,
+                max_size=num_cuts,
+                unique=True,
+            )
+        )
+    )
+    batches = []
+    start = 0
+    for cut in cuts + [len(edges)]:
+        if cut > start:
+            batches.append(edges[start:cut])
+            start = cut
+    return generated, batches
+
+
+def test_incremental_engines_exist():
+    """The delta property below must cover more than just the oracle."""
+    assert "legacy" in incremental_engine_names()
+    assert len(incremental_engine_names()) >= 2
+
+
+@given(graphs_with_batches(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_incremental_engines_agree_with_full_recompute(graph_and_batches, nranks):
+    """Every incremental engine × a random DeltaBuffer schedule must land on
+    the full-recompute panel, with identical wire totals across engines."""
+    generated, batches = graph_and_batches
+    if not batches:
+        return  # empty graph: nothing to stream
+    full_panel, full_report = run_engine(generated, nranks, "push", "legacy")
+    oracle_panel, oracle_totals = replay_stream(generated, batches, nranks, "legacy")
+    assert oracle_panel == full_panel, (
+        f"legacy stream on {generated.name}: cumulative panel != full recompute"
+    )
+    assert oracle_totals["triangles"] == full_report.triangles
+    for name in incremental_engine_names():
+        if name == "legacy":
+            continue
+        panel, totals = replay_stream(generated, batches, nranks, name)
+        context = f"{name} stream/{nranks} ranks on {generated.name}"
+        assert panel == full_panel, f"{context}: snapshot panels differ"
+        assert totals == oracle_totals, f"{context}: wire totals differ"

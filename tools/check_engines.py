@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Engine registry smoke: docs and registry agree, every engine runs clean.
 
-Two checks, exit status 1 on any failure (each printed to stderr):
+Three checks, exit status 1 on any failure (each printed to stderr):
 
 1. **Listing parity** — the engine names in README.md's engine-selector
    table (the rows of the ``| Engine |`` table) must equal the registry
@@ -12,6 +12,10 @@ Two checks, exit status 1 on any failure (each printed to stderr):
    algorithms, a graph small enough for CI seconds) and must match the
    legacy oracle exactly: reducer panel, triangle count, communicated
    bytes, wire messages.
+3. **Sweep axis parity** — the scenario sweep's default engine axis
+   (:func:`repro.sweep.sweep_engine_axis`) must equal the registry, and a
+   one-config sweep must produce a cell for every engine — so a newly
+   registered engine can never be silently missing from the coverage map.
 
 Used by the docs CI job (``python tools/check_engines.py``) and mirrored in
 ``tests/docs/test_docs.py`` so registry/README drift fails tier-1 first.
@@ -75,6 +79,32 @@ def run_smoke(engine: str, algorithm: str):
     )
 
 
+def check_sweep_axis(registered: Tuple[str, ...]) -> List[str]:
+    """The sweep's engine axis covers the whole registry (check 3)."""
+    from repro.sweep import run_sweep, sample_configs, sweep_engine_axis, sweep_payload
+
+    errors: List[str] = []
+    axis = sweep_engine_axis()
+    if axis != registered:
+        errors.append(f"sweep engine axis {axis!r} != registry {registered!r}")
+        return errors
+    configs = sample_configs("erdos-renyi", 1, seed=0)
+    result = run_sweep(configs, analyses=("triangle",), strict_parity=True)
+    covered = {cell.engine for cell in result.cells}
+    if covered != set(registered):
+        errors.append(
+            f"sweep smoke covered engines {sorted(covered)!r} != "
+            f"registry {sorted(registered)!r}"
+        )
+    payload = sweep_payload(result)
+    if tuple(payload["engines"]) != registered:
+        errors.append(
+            f"sweep artifact engine axis {payload['engines']!r} != "
+            f"registry {registered!r}"
+        )
+    return errors
+
+
 def main() -> int:
     errors: List[str] = []
 
@@ -98,13 +128,15 @@ def main() -> int:
                     f"legacy {oracle[1:]})"
                 )
 
+    errors.extend(check_sweep_axis(registered))
+
     if errors:
         for error in errors:
             print(f"check_engines: {error}", file=sys.stderr)
         return 1
     print(
-        f"check_engines: {len(registered)} engines documented and parity-clean "
-        f"({', '.join(registered)})"
+        f"check_engines: {len(registered)} engines documented, parity-clean, "
+        f"and on the sweep axis ({', '.join(registered)})"
     )
     return 0
 
