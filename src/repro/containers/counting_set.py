@@ -28,8 +28,6 @@ class DistributedCountingSet:
     """Hash-partitioned item -> count histogram with write-back caches (the
     counting set of Section 4.5, used by the closure-time and FQDN surveys)."""
 
-    _counter = 0
-
     def __init__(
         self,
         world: World,
@@ -40,8 +38,7 @@ class DistributedCountingSet:
             raise ValueError("cache_capacity must be at least 1")
         self.world = world
         if name is None:
-            name = f"counting_set_{DistributedCountingSet._counter}"
-            DistributedCountingSet._counter += 1
+            name = world.anonymous_name("counting_set")
         self.name = world.unique_name(name)
         self.cache_capacity = cache_capacity
         for ctx in world.ranks:

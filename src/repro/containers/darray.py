@@ -21,8 +21,6 @@ class DistributedArray:
     """A fixed-length, block-partitioned array with asynchronous accumulation
     (``ygm::container::array``, Section 2; used for per-vertex tallies)."""
 
-    _counter = 0
-
     def __init__(
         self,
         world: World,
@@ -37,8 +35,7 @@ class DistributedArray:
         self.length = length
         self.dtype = np.dtype(dtype)
         if name is None:
-            name = f"darray_{DistributedArray._counter}"
-            DistributedArray._counter += 1
+            name = world.anonymous_name("darray")
         self.name = world.unique_name(name)
         self.block = (length + world.nranks - 1) // world.nranks if length else 0
         for ctx in world.ranks:

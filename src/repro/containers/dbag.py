@@ -20,13 +20,10 @@ class DistributedBag:
     """An unordered rank-partitioned collection (``ygm::container::bag``,
     Section 2; backing store for edge lists before partitioning)."""
 
-    _counter = 0
-
     def __init__(self, world: World, name: Optional[str] = None) -> None:
         self.world = world
         if name is None:
-            name = f"dbag_{DistributedBag._counter}"
-            DistributedBag._counter += 1
+            name = world.anonymous_name("dbag")
         self.name = world.unique_name(name)
         for ctx in world.ranks:
             ctx.local_state.setdefault(self._slot, [])

@@ -41,13 +41,10 @@ class DistributedMap:
         unique ``dmap_<n>`` name).
     """
 
-    _counter = 0
-
     def __init__(self, world: World, name: Optional[str] = None) -> None:
         self.world = world
         if name is None:
-            name = f"dmap_{DistributedMap._counter}"
-            DistributedMap._counter += 1
+            name = world.anonymous_name("dmap")
         self.name = world.unique_name(name)
         for ctx in world.ranks:
             ctx.local_state.setdefault(self._slot, {})

@@ -19,13 +19,10 @@ class DistributedSet:
     """A hash-partitioned set with asynchronous insertion
     (``ygm::container::set``, Section 2)."""
 
-    _counter = 0
-
     def __init__(self, world: World, name: Optional[str] = None) -> None:
         self.world = world
         if name is None:
-            name = f"dset_{DistributedSet._counter}"
-            DistributedSet._counter += 1
+            name = world.anonymous_name("dset")
         self.name = world.unique_name(name)
         for ctx in world.ranks:
             ctx.local_state.setdefault(self._slot, set())

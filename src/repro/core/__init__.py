@@ -18,8 +18,15 @@ or through an :class:`~repro.core.engine.EngineConfig`, the one selector
 threaded through ``analysis/*``, ``bench/*`` and the benchmark CLIs.
 """
 
-from .approximate import ApproximateCount, approximate_triangle_count, sparsify_graph
+from .approximate import (
+    ApproximateCount,
+    SurvivorEstimate,
+    approximate_triangle_count,
+    sparsify_graph,
+    survivor_triangle_estimate,
+)
 from .callbacks import (
+    REDUCER_REGISTRY,
     ClosureTimeSurvey,
     DegreeTripleSurvey,
     EdgeSupportCounter,
@@ -27,9 +34,12 @@ from .callbacks import (
     LocalTriangleCounter,
     MaxEdgeLabelDistribution,
     TriangleCounter,
+    get_reducer,
     log2_bucket,
     log2_bucket_array,
     merge_count_dicts,
+    reducer_names,
+    registered_reducers,
 )
 from .engine import (
     EngineConfig,
@@ -87,6 +97,8 @@ __all__ = [
     "approximate_triangle_count",
     "sparsify_graph",
     "ApproximateCount",
+    "SurvivorEstimate",
+    "survivor_triangle_estimate",
     "SurveyReport",
     "TriangleCallback",
     "TriangleCounter",
@@ -98,6 +110,10 @@ __all__ = [
     "FqdnTripleSurvey",
     "log2_bucket",
     "log2_bucket_array",
+    "REDUCER_REGISTRY",
+    "reducer_names",
+    "registered_reducers",
+    "get_reducer",
     "merge_path_intersection",
     "binary_search_intersection",
     "hash_intersection",

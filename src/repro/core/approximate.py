@@ -17,7 +17,7 @@ surveyed triangle representative of ``1/p^3`` real ones in expectation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Tuple
+from typing import Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,7 +28,13 @@ from .push_pull import triangle_survey_push_pull
 from .results import SurveyReport
 from .survey import TriangleCallback, triangle_survey_push
 
-__all__ = ["ApproximateCount", "approximate_triangle_count", "sparsify_graph"]
+__all__ = [
+    "ApproximateCount",
+    "SurvivorEstimate",
+    "approximate_triangle_count",
+    "sparsify_graph",
+    "survivor_triangle_estimate",
+]
 
 
 @dataclass
@@ -123,5 +129,119 @@ def approximate_triangle_count(
         probability=probability,
         kept_edges=sparsified.num_undirected_edges(),
         original_edges=graph.num_undirected_edges(),
+        report=report,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Degraded surveys: estimate from the survivors of a permanent rank loss
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SurvivorEstimate:
+    """Triangle estimate from the ranks that outlived a permanent crash.
+
+    Losing rank ``r`` forever loses its vertex partition.  Hash
+    partitioning assigns vertices (pseudo-)uniformly, so the surviving
+    vertex set behaves like a uniform vertex sample of rate ``p`` — a
+    triangle survives iff all three corners do, i.e. with probability
+    ``~p^3`` — which makes the DOULION-style scale-up
+    ``survivors / p^3`` the natural estimator, now over *vertex* instead of
+    edge sampling.  The error bound is the matching binomial-thinning
+    heuristic: each of the ``~estimate`` true triangles survives
+    independently with probability ``p^3``, giving the scaled count a
+    standard error of ``sqrt(estimate * (1/p^3 - 1))``.
+    """
+
+    #: estimated triangle count of the full graph
+    estimate: float
+    #: exact triangle count among the surviving partitions
+    surviving_triangles: int
+    #: fraction of vertices owned by surviving ranks
+    survival_probability: float
+    lost_ranks: Tuple[int, ...]
+    surviving_vertices: int
+    total_vertices: int
+    #: telemetry of the survey over the survivor subgraph
+    report: SurveyReport
+
+    @property
+    def scale_factor(self) -> float:
+        return 1.0 / self.survival_probability**3
+
+    @property
+    def stderr(self) -> float:
+        """Binomial-thinning standard error of :attr:`estimate` (heuristic)."""
+        p3 = self.survival_probability**3
+        return float(np.sqrt(max(self.estimate, 0.0) * (1.0 / p3 - 1.0)))
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """``z``-sigma interval around the estimate (clamped at zero)."""
+        spread = z * self.stderr
+        return (max(0.0, self.estimate - spread), self.estimate + spread)
+
+    def relative_error(self, exact: int) -> float:
+        """|estimate - exact| / exact (for evaluation against a known truth)."""
+        if exact == 0:
+            return 0.0 if self.estimate == 0 else float("inf")
+        return abs(self.estimate - exact) / exact
+
+
+def survivor_triangle_estimate(
+    graph: DistributedGraph,
+    lost_ranks: Iterable[int],
+    algorithm: str = "push",
+    graph_name: Optional[str] = None,
+) -> SurvivorEstimate:
+    """Estimate the triangle count of ``graph`` after permanently losing ranks.
+
+    This is the graceful-degradation path of the checkpoint/restart layer
+    (``core/engine/checkpoint.py``): when a crashed rank exceeds its restart
+    budget (or the fault plan marks the crash unrecoverable), the survey
+    routes here instead of failing.  The estimate surveys the *survivor
+    subgraph* — every edge whose two endpoints live on surviving ranks — on a
+    fresh world of the surviving size, then scales by ``1 / p^3`` where
+    ``p`` is the surviving vertex fraction (see :class:`SurvivorEstimate`).
+    """
+    world = graph.world
+    lost = {rank % world.nranks for rank in lost_ranks}
+    if not lost:
+        raise ValueError("survivor estimate requires at least one lost rank")
+    if len(lost) >= world.nranks:
+        raise ValueError("no surviving ranks to estimate from")
+    survivor_world = World(world.nranks - len(lost))
+    survivors = DistributedGraph(
+        survivor_world, name=f"{graph.name}.survivors"
+    )
+    surviving_vertices: set = set()
+    total_vertices = 0
+    for rank in range(world.nranks):
+        for vertex, record in graph.local_vertices(rank):
+            total_vertices += 1
+            if rank not in lost:
+                surviving_vertices.add(vertex)
+                survivors.add_vertex(vertex, record["meta"])
+    if not surviving_vertices:
+        raise ValueError("surviving ranks own no vertices")
+    for u, v, meta in graph.edges():
+        if u in surviving_vertices and v in surviving_vertices:
+            survivors.add_edge(u, v, meta)
+    dodgr = DODGraph.build(survivors, mode="bulk")
+    name = graph_name or f"{graph.name}.survivors"
+    if algorithm == "push":
+        report = triangle_survey_push(dodgr, None, graph_name=name)
+    elif algorithm == "push_pull":
+        report = triangle_survey_push_pull(dodgr, None, graph_name=name)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    probability = len(surviving_vertices) / total_vertices
+    return SurvivorEstimate(
+        estimate=report.triangles / probability**3,
+        surviving_triangles=report.triangles,
+        survival_probability=probability,
+        lost_ranks=tuple(sorted(lost)),
+        surviving_vertices=len(surviving_vertices),
+        total_vertices=total_vertices,
         report=report,
     )

@@ -67,6 +67,10 @@ __all__ = [
     "ClosureTimeSurvey",
     "DegreeTripleSurvey",
     "FqdnTripleSurvey",
+    "REDUCER_REGISTRY",
+    "reducer_names",
+    "registered_reducers",
+    "get_reducer",
     "log2_bucket",
     "log2_bucket_array",
     "merge_count_dicts",
@@ -517,3 +521,44 @@ class FqdnTripleSurvey(_SnapshotMerge):
                 if len(others) == 2:
                     out[others] = out.get(others, 0) + count
         return out
+
+
+# ---------------------------------------------------------------------------
+# Reducer registry
+# ---------------------------------------------------------------------------
+
+#: Every stock reducer by name.  Tooling iterates this to enforce the
+#: reducer contract fleet-wide: ``tools/check_engines.py`` asserts each
+#: entry exposes the ``snapshot()`` / ``merge()`` / ``callback_batch``
+#: trio, and ``tests/properties/test_property_reducers.py`` checks that
+#: ``merge()`` over arbitrarily sharded snapshots equals the unsharded
+#: result.  All entries construct with ``reducer(world)``.
+REDUCER_REGISTRY: Dict[str, type] = {
+    "triangle": TriangleCounter,
+    "local-triangle": LocalTriangleCounter,
+    "edge-support": EdgeSupportCounter,
+    "max-edge-label": MaxEdgeLabelDistribution,
+    "closure-time": ClosureTimeSurvey,
+    "degree-triple": DegreeTripleSurvey,
+    "fqdn-triple": FqdnTripleSurvey,
+}
+
+
+def reducer_names() -> Tuple[str, ...]:
+    """Registered reducer names, in registration order."""
+    return tuple(REDUCER_REGISTRY)
+
+
+def registered_reducers() -> Dict[str, type]:
+    """A copy of the name → reducer-class registry."""
+    return dict(REDUCER_REGISTRY)
+
+
+def get_reducer(name: str) -> type:
+    """Look up a reducer class by registry name."""
+    try:
+        return REDUCER_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown reducer {name!r}; registered: {', '.join(REDUCER_REGISTRY)}"
+        ) from None

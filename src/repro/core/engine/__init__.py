@@ -114,3 +114,26 @@ def execute_survey(request: SurveyRequest, engine=None) -> SurveyResult:
     if request.algorithm == "push_pull":
         return run_push_pull_survey(request, spec)
     raise ValueError(f"unknown survey algorithm {request.algorithm!r}")
+
+
+# Checkpoint/restart wrappers import execute_survey lazily, so this import
+# must stay below its definition.
+from .checkpoint import (  # noqa: E402
+    CheckpointPolicy,
+    CheckpointedStreamingSurvey,
+    RecoveryLog,
+    ResilientStreamingStep,
+    ResilientSurveyResult,
+    StreamingCheckpoint,
+    run_survey_with_recovery,
+)
+
+__all__ += [
+    "CheckpointPolicy",
+    "CheckpointedStreamingSurvey",
+    "RecoveryLog",
+    "ResilientStreamingStep",
+    "ResilientSurveyResult",
+    "StreamingCheckpoint",
+    "run_survey_with_recovery",
+]

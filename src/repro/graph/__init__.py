@@ -11,7 +11,7 @@ from .directed import (
 )
 from .distributed_graph import DistributedGraph
 from .dodgr import AdjEntry, DODGraph, entry_key
-from .edge_list import DistributedEdgeList, canonical_pair
+from .edge_list import DistributedEdgeList, canonical_pair, validate_edge_columns
 from .generators import (
     GeneratedGraph,
     chung_lu_power_law,
@@ -103,6 +103,7 @@ __all__ = [
     "summarize_edges",
     "summarize_distributed",
     "load_edge_list",
+    "validate_edge_columns",
     "read_edge_file",
     "read_edges_partitioned",
     "read_vertex_file",

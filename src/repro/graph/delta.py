@@ -36,7 +36,7 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from .distributed_graph import DistributedGraph
 from .dodgr import DODGraph
-from .edge_list import canonical_pair
+from .edge_list import canonical_pair, validate_edge_columns
 
 try:
     import numpy as _np
@@ -187,11 +187,13 @@ class DeltaBuffer:
     def stage_columns(
         self, us: Any, vs: Any, edge_metas: Optional[List[Any]] = None, edge_meta: Any = None
     ) -> None:
-        """Stage parallel endpoint columns (one shared or one per-edge meta)."""
-        if len(us) != len(vs):
-            raise ValueError("endpoint columns must have equal length")
-        if edge_metas is not None and len(edge_metas) != len(us):
-            raise ValueError("metadata column must match endpoint columns")
+        """Stage parallel endpoint columns (one shared or one per-edge meta).
+
+        Malformed columns — ragged lengths, non-integer dtype, negative
+        ids — raise :class:`ValueError` naming the offending column before
+        anything is staged.
+        """
+        validate_edge_columns(us, vs, edge_metas)
         for i, (u, v) in enumerate(zip(us, vs)):
             meta = edge_metas[i] if edge_metas is not None else edge_meta
             self.stage_edge(int(u), int(v), meta)

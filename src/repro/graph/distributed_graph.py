@@ -24,7 +24,7 @@ from itertools import repeat
 
 from ..runtime.world import RankContext, World
 from .columnar import group_slices
-from .edge_list import DistributedEdgeList, canonical_pair
+from .edge_list import DistributedEdgeList, canonical_pair, validate_edge_columns
 from .partition import HashPartitioner, Partitioner
 
 try:
@@ -37,8 +37,6 @@ __all__ = ["DistributedGraph"]
 
 class DistributedGraph:
     """An undirected graph with vertex/edge metadata, partitioned by vertex."""
-
-    _counter = 0
 
     def __init__(
         self,
@@ -54,8 +52,7 @@ class DistributedGraph:
                 f"partitioner is for {self.partitioner.nranks} ranks but world has {world.nranks}"
             )
         if name is None:
-            name = f"graph_{DistributedGraph._counter}"
-            DistributedGraph._counter += 1
+            name = world.anonymous_name("graph")
         self.name = world.unique_name(name)
         self.default_vertex_meta = default_vertex_meta
         for ctx in world.ranks:
@@ -179,11 +176,11 @@ class DistributedGraph:
         from one stable sort of the half-edge stream.  ``edge_meta`` is a
         value shared by every edge (the generator default); ``edge_metas``
         supplies one value per input edge.
+
+        Malformed columns — ragged lengths, non-integer dtype, negative
+        ids — raise :class:`ValueError` naming the offending column.
         """
-        if len(us) != len(vs):
-            raise ValueError("endpoint columns must have equal length")
-        if edge_metas is not None and len(edge_metas) != len(us):
-            raise ValueError("metadata column must match endpoint columns")
+        validate_edge_columns(us, vs, edge_metas)
         graph = cls(
             world,
             partitioner=partitioner,

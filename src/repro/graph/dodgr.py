@@ -289,8 +289,6 @@ class CSRAdjacency:
 class DODGraph:
     """The degree-ordered directed graph G+ with metadata-augmented adjacency."""
 
-    _counter = 0
-
     def __init__(
         self,
         world: World,
@@ -300,8 +298,7 @@ class DODGraph:
         self.world = world
         self.partitioner = partitioner
         if name is None:
-            name = f"dodgr_{DODGraph._counter}"
-            DODGraph._counter += 1
+            name = world.anonymous_name("dodgr")
         self.name = world.unique_name(name)
         for ctx in world.ranks:
             ctx.local_state.setdefault(self._slot, {})

@@ -34,7 +34,12 @@ try:
 except ImportError:  # pragma: no cover - exercised via the scalar fallback
     _np = None
 
-__all__ = ["DistributedEdgeList", "EdgeRecord", "canonical_pair"]
+__all__ = [
+    "DistributedEdgeList",
+    "EdgeRecord",
+    "canonical_pair",
+    "validate_edge_columns",
+]
 
 #: A raw edge record: (source, target, edge metadata).
 EdgeRecord = Tuple[Hashable, Hashable, Any]
@@ -66,6 +71,76 @@ def _keep_min(existing: Any, incoming: Any) -> Any:
         return existing
 
 
+# Columnar input validation --------------------------------------------------
+
+
+def validate_edge_columns(
+    us: Any, vs: Any, edge_metas: Optional[List[Any]] = None
+) -> None:
+    """Reject malformed endpoint columns with an error naming the column.
+
+    The columnar ingestion paths (``DistributedGraph.from_columns``,
+    ``DeltaBuffer.stage_columns``) take parallel *integer* id columns; a
+    float column would otherwise truncate silently through ``int()`` and a
+    ragged or negative column would surface as a confusing partitioner or
+    adjacency error deep inside the build.  Checks are vectorized when the
+    columns are numeric NumPy arrays — one dtype test and one ``min()``
+    per column, far cheaper than the build's own lexsort.
+    """
+    n_us, n_vs = len(us), len(vs)
+    if n_us != n_vs:
+        raise ValueError(
+            f"ragged edge columns: column 'us' has {n_us} entries but "
+            f"column 'vs' has {n_vs}"
+        )
+    if edge_metas is not None and len(edge_metas) != n_us:
+        raise ValueError(
+            f"ragged edge columns: column 'edge_metas' has {len(edge_metas)} "
+            f"entries but the endpoint columns have {n_us}"
+        )
+    for name, column in (("us", us), ("vs", vs)):
+        _validate_id_column(name, column)
+
+
+def _validate_id_column(name: str, column: Any) -> None:
+    if _np is not None:
+        arr = _np.asarray(column)
+        if arr.size == 0:
+            # An empty plain list coerces to float64; there are no ids to
+            # reject, so don't let the default dtype fail the column.
+            return
+        if arr.dtype != object:
+            if not _np.issubdtype(arr.dtype, _np.integer):
+                raise ValueError(
+                    f"column {name!r} has non-integer dtype {arr.dtype}; "
+                    "vertex ids must be integers (float ids would truncate "
+                    "silently)"
+                )
+            if arr.size and int(arr.min()) < 0:
+                raise ValueError(
+                    f"column {name!r} contains negative vertex ids "
+                    f"(min {int(arr.min())})"
+                )
+            return
+    for index, value in enumerate(column):
+        if isinstance(value, bool) or not _is_integral(value):
+            raise ValueError(
+                f"column {name!r} entry {index} is "
+                f"{type(value).__name__} {value!r}; vertex ids must be integers"
+            )
+        if value < 0:
+            raise ValueError(
+                f"column {name!r} contains a negative vertex id at entry "
+                f"{index} ({value})"
+            )
+
+
+def _is_integral(value: Any) -> bool:
+    if isinstance(value, int):
+        return True
+    return _np is not None and isinstance(value, _np.integer)
+
+
 _REDUCTIONS: Dict[str, Callable[[Any, Any], Any]] = {
     "first": _keep_first,
     "earliest": _keep_earliest_timestamp,
@@ -76,13 +151,10 @@ _REDUCTIONS: Dict[str, Callable[[Any, Any], Any]] = {
 class DistributedEdgeList:
     """Raw edge records partitioned across the ranks of a simulated world."""
 
-    _counter = 0
-
     def __init__(self, world: World, name: Optional[str] = None) -> None:
         self.world = world
         if name is None:
-            name = f"edge_list_{DistributedEdgeList._counter}"
-            DistributedEdgeList._counter += 1
+            name = world.anonymous_name("edge_list")
         self.name = world.unique_name(name)
         for ctx in world.ranks:
             ctx.local_state.setdefault(self._slot, [])

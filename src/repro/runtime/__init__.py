@@ -13,6 +13,13 @@ The public surface mirrors the pieces of the C++ stack the paper describes:
 * :mod:`~repro.runtime.reductions` — All_Reduce-style collectives.
 """
 
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    RankCrashError,
+    sample_fault_plans,
+)
 from .message_buffer import DEFAULT_FLUSH_THRESHOLD, BufferBank, MessageBuffer
 from .network_model import CATALYST_LIKE, CostModel, PhaseTime, SimulatedTime, simulate_time
 from .reductions import (
@@ -33,12 +40,18 @@ from .serialization import (
     serialized_size,
 )
 from .stats import DEFAULT_PHASE, PhaseStats, RankStats, WorldStats
-from .world import RankContext, World, WorldError, stable_hash
+from .world import LivelockError, RankContext, World, WorldError, stable_hash
 
 __all__ = [
     "World",
     "RankContext",
     "WorldError",
+    "LivelockError",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "RankCrashError",
+    "sample_fault_plans",
     "stable_hash",
     "RpcRegistry",
     "RpcHandle",

@@ -71,6 +71,9 @@ class BufferedMessage:
     source: int
     dest: int
     payload: bytes
+    #: At-least-once sequence id, assigned by the reliable transport when a
+    #: fault plan with delivery faults is installed; None otherwise.
+    seq: Optional[int] = None
 
 
 @dataclass
@@ -94,6 +97,8 @@ class SizedMessage:
     handle: Any
     args: Tuple[Any, ...]
     nbytes: int
+    #: At-least-once sequence id (see :class:`BufferedMessage`).
+    seq: Optional[int] = None
 
 
 class MessageBuffer:
@@ -384,6 +389,18 @@ class BufferBank:
         """Force-flush every non-empty buffer (called at barriers)."""
         for buf in self._buffers.values():
             self._flush_buffer(buf)
+
+    def drop_pending(self) -> None:
+        """Discard all buffered-but-unflushed traffic without accounting.
+
+        Crash recovery uses this: data still sitting in send buffers when a
+        rank dies never reached the wire, so it vanishes without wire
+        counters — its ``rpcs_sent``/``bytes_sent_remote`` from send time
+        stay on the books, exactly like a real send into a dead connection.
+        """
+        for buf in self._buffers.values():
+            buf._pending = []
+            buf._pending_bytes = 0
 
     def pending_bytes(self) -> int:
         return sum(buf.pending_bytes for buf in self._buffers.values())

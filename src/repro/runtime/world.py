@@ -27,11 +27,14 @@ identical communication statistics.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .faults import Envelope, FaultInjector, FaultPlan, ReliableTransport
 from .message_buffer import (
     DEFAULT_FLUSH_THRESHOLD,
+    WIRE_ENVELOPE_BYTES,
     BufferBank,
     BufferedMessage,
     SizedMessage,
@@ -49,15 +52,62 @@ __all__ = [
     "World",
     "RankContext",
     "WorldError",
+    "LivelockError",
     "BatchedCall",
+    "DEFAULT_MAX_DRAIN_SWEEPS",
     "stable_hash",
     "stable_hash_int_array",
     "stable_tuple_hash_array",
 ]
 
+#: Default ceiling on delivery sweeps per barrier.  Legitimate workloads
+#: need a handful of sweeps per barrier (handler chains are shallow and the
+#: retry backoff is geometric); a barrier that reaches this many is a
+#: livelock — handlers generating messages forever — and aborts with a
+#: :class:`LivelockError` diagnostic instead of hanging the process.
+DEFAULT_MAX_DRAIN_SWEEPS = 100_000
+
+#: How many sweeps before the limit the hottest-handler probe arms.  Only
+#: this tail window pays the per-message handler-name bookkeeping, so the
+#: guard costs one integer compare per sweep on healthy barriers.
+_PROBE_WINDOW = 64
+
 
 class WorldError(Exception):
     """Raised for invalid world operations (bad ranks, re-entrant barriers, ...)."""
+
+
+class LivelockError(WorldError):
+    """A barrier exceeded its delivery-sweep budget without quiescing.
+
+    Carries the diagnostic the operator needs: which phase was running, how
+    much traffic was still pending per rank, and which handlers dominated
+    the final sweeps (the livelock culprits).
+    """
+
+    def __init__(
+        self,
+        sweeps: int,
+        phase: str,
+        pending: Dict[int, int],
+        hottest: List[Tuple[str, int]],
+    ) -> None:
+        self.sweeps = sweeps
+        self.phase = phase
+        self.pending = dict(pending)
+        self.hottest = list(hottest)
+        pending_desc = (
+            ", ".join(f"rank {rank}: {count}" for rank, count in sorted(pending.items()))
+            or "none"
+        )
+        hot_desc = (
+            ", ".join(f"{name} x{count}" for name, count in hottest) or "unknown"
+        )
+        super().__init__(
+            f"barrier exceeded {sweeps} delivery sweeps without quiescing "
+            f"(phase {phase!r}; pending inbox messages: {pending_desc}; "
+            f"hottest handlers in the final sweeps: {hot_desc})"
+        )
 
 
 @dataclass
@@ -93,6 +143,9 @@ class BatchedCall:
     args: Tuple[Any, ...]
     virtual_rpcs: int
     virtual_bytes: int
+    #: At-least-once sequence id, assigned by the reliable transport when a
+    #: fault plan with delivery faults is installed; None otherwise.
+    seq: Optional[int] = None
 
 
 class RankContext:
@@ -215,7 +268,15 @@ class RankContext:
 
     # ------------------------------------------------------------------
     def add_compute(self, units: int) -> None:
-        """Account abstract local computation (merge comparisons, hash probes)."""
+        """Account abstract local computation (merge comparisons, hash probes).
+
+        Under an installed fault plan, slow-rank multipliers scale the
+        accounted units here — a straggler does the same work but its
+        simulated clock charges more for it.
+        """
+        injector = self.world._injector
+        if injector is not None:
+            units = injector.scaled_compute(self.rank, units)
         self.stats.current.compute_units += units
 
     def add_counter(self, name: str, amount: int = 1) -> None:
@@ -236,6 +297,7 @@ class World:
         flush_threshold_bytes: int = DEFAULT_FLUSH_THRESHOLD,
         cost_model: CostModel = CATALYST_LIKE,
         ranks_per_node: int = 1,
+        max_drain_sweeps: Optional[int] = DEFAULT_MAX_DRAIN_SWEEPS,
     ) -> None:
         """Create a simulated world.
 
@@ -252,15 +314,22 @@ class World:
             hosted on the same simulated compute node (node-level message
             aggregation — the improvement Section 5.4 of the paper proposes
             for the many-small-messages regime at 256 nodes).
+        max_drain_sweeps:
+            Livelock guard: a single barrier may run at most this many
+            delivery sweeps before aborting with :class:`LivelockError`
+            (``None`` disables the guard and restores hang-forever).
         """
         if nranks <= 0:
             raise WorldError("world must have at least one rank")
         if ranks_per_node < 1:
             raise WorldError("ranks_per_node must be at least 1")
+        if max_drain_sweeps is not None and max_drain_sweeps < 1:
+            raise WorldError("max_drain_sweeps must be at least 1 (or None)")
         self.nranks = nranks
         self.flush_threshold_bytes = flush_threshold_bytes
         self.cost_model = cost_model
         self.ranks_per_node = ranks_per_node
+        self.max_drain_sweeps = max_drain_sweeps
         self.stats = WorldStats(nranks)
         self.registry = RpcRegistry()
         self._inboxes: List[Deque[BufferedMessage | BatchedCall]] = [
@@ -270,6 +339,13 @@ class World:
         self._phase_order: List[str] = []
         self._in_delivery = False
         self._structure_names: Dict[str, int] = {}
+        self._anonymous_counts: Dict[str, int] = {}
+        #: Fault machinery; all None / dormant unless a plan is installed,
+        #: so fault-free runs take no new code paths.
+        self._injector: Optional[FaultInjector] = None
+        self._transport: Optional[ReliableTransport] = None
+        self._barrier_sweeps = 0
+        self._drain_probe: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -312,6 +388,21 @@ class World:
         self._structure_names[base] = count
         return base if count == 1 else f"{base}~{count}"
 
+    def anonymous_name(self, prefix: str) -> str:
+        """Default name for a distributed structure created without one.
+
+        Anonymous structures are numbered per world (``prefix_0``,
+        ``prefix_1``, ...).  The name must come from world state, not a
+        process-global counter: hash-partitioned containers salt their
+        ``owner()`` mapping with the structure name, so a global counter
+        would make message routing — and therefore any seeded fault
+        schedule keyed to delivery order — depend on how many structures
+        unrelated earlier work created in the same process.
+        """
+        count = self._anonymous_counts.get(prefix, 0)
+        self._anonymous_counts[prefix] = count + 1
+        return f"{prefix}_{count}"
+
     # ------------------------------------------------------------------
     def begin_phase(self, name: str) -> None:
         """Start a named measurement phase on every rank."""
@@ -324,14 +415,151 @@ class World:
         return list(self._phase_order)
 
     # ------------------------------------------------------------------
+    # Fault-plan lifecycle
+    # ------------------------------------------------------------------
+    def install_fault_plan(self, plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
+        """Arm (or, with ``None``, disarm) deterministic fault injection.
+
+        Any engine then runs under the plan without engine changes: drops,
+        duplicates and delays are absorbed transparently inside
+        :meth:`barrier` by the at-least-once transport, crashes surface as
+        :class:`~repro.runtime.faults.RankCrashError` for a recovery layer
+        (see ``core/engine/checkpoint.py``), and slow ranks pay their
+        compute multiplier in :meth:`RankContext.add_compute`.
+        """
+        if plan is None:
+            self.clear_fault_plan()
+            return None
+        self._injector = FaultInjector(plan, self.nranks)
+        self._transport = (
+            ReliableTransport(plan) if plan.has_delivery_faults() else None
+        )
+        return self._injector
+
+    def clear_fault_plan(self) -> None:
+        self._injector = None
+        self._transport = None
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        return self._injector
+
+    @contextmanager
+    def faults_suspended(self) -> Iterator[None]:
+        """Temporarily disarm fault injection (graph builds, checkpoints).
+
+        The checkpoint wrappers scope the fault domain to survey execution:
+        ingest and DODGr construction run inside this context so a crash
+        can never leave a half-built graph behind.
+        """
+        injector, transport = self._injector, self._transport
+        self._injector = None
+        self._transport = None
+        try:
+            yield
+        finally:
+            self._injector, self._transport = injector, transport
+
+    def recover_from_crash(self) -> None:
+        """Restart crashed ranks: discard all volatile in-flight state.
+
+        Mirrors what a real restart loses — inbox contents, buffered but
+        unflushed sends (never reached the wire, so no accounting), and the
+        transport's in-flight table.  Wire counters and sequence-number
+        streams survive, so the wasted attempt's traffic stays honestly on
+        the books and replayed sends can never alias pre-crash ones.
+        """
+        for inbox in self._inboxes:
+            inbox.clear()
+        for ctx in self.ranks:
+            ctx.buffers.drop_pending()
+        if self._transport is not None:
+            self._transport.abandon_in_flight()
+        if self._injector is not None:
+            self._injector.mark_restarted()
+
+    # ------------------------------------------------------------------
     def _enqueue_messages(self, messages: Iterable[BufferedMessage]) -> None:
+        if self._transport is not None:
+            for msg in messages:
+                self._route_with_faults(msg)
+            return
         for msg in messages:
             self._inboxes[msg.dest].append(msg)
 
     def _enqueue_batched(self, call: BatchedCall) -> None:
+        if self._transport is not None:
+            self._route_with_faults(call)
+            return
         self._inboxes[call.dest].append(call)
 
+    def _route_with_faults(self, msg: Any) -> None:
+        """Transport path: register, then let the injector pick a fate.
+
+        Local (same-rank) messages never touch the wire and are delivered
+        verbatim — only remote traffic is sequenced and faultable.
+        """
+        if msg.source == msg.dest:
+            self._inboxes[msg.dest].append(msg)
+            return
+        envelope = self._transport.register(msg)
+        self._apply_fate(envelope)
+
+    def _apply_fate(self, envelope: Envelope) -> None:
+        injector = self._injector
+        fate = injector.delivery_fate(envelope) if injector is not None else "deliver"
+        msg = envelope.message
+        if fate == FaultInjector.DROP:
+            return
+        if fate == FaultInjector.DELAY:
+            self._transport.add_delay(envelope, injector.draw_delay())
+            return
+        if fate == FaultInjector.DUPLICATE:
+            self._inboxes[msg.dest].append(msg)
+        self._inboxes[msg.dest].append(msg)
+
+    def _retransmit(self, envelope: Envelope) -> None:
+        """Timeout fired: resend an unacked message, honestly accounted.
+
+        A retransmission is modelled as its own immediate single-message
+        flush on the sender — one RPC, its payload bytes, one wire message
+        plus envelope — through the same size-only accounting as first
+        sends, so recovered runs report the retry traffic in every counter.
+        """
+        msg = envelope.message
+        self._transport.schedule_retry(envelope)
+        self._injector.stats.retries += 1
+        phase = self.ranks[msg.source].stats.current
+        phase.rpcs_sent += 1
+        phase.bytes_sent_remote += envelope.nbytes
+        phase.wire_messages += 1
+        phase.wire_bytes += envelope.nbytes + WIRE_ENVELOPE_BYTES
+        self._apply_fate(envelope)
+
+    def _fault_tick(self) -> None:
+        """Advance the transport clock one sweep: release delays, retry."""
+        transport = self._transport
+        transport.clock += 1
+        self._note_sweep()
+        for envelope in transport.release_due():
+            self._inboxes[envelope.message.dest].append(envelope.message)
+        for envelope in transport.due_retries():
+            self._retransmit(envelope)
+
+    # ------------------------------------------------------------------
     def _execute_message(self, msg: BufferedMessage | SizedMessage | BatchedCall) -> None:
+        injector = self._injector
+        if (
+            self._transport is not None
+            and msg.seq is not None
+            and msg.source != msg.dest
+            and not self._transport.mark_delivered(msg.source, msg.dest, msg.seq)
+        ):
+            # At-least-once delivery made a duplicate reach the receiver;
+            # the sequence-id dedup suppresses re-execution, which is what
+            # keeps panels bit-identical under duplication and retries.
+            injector.stats.duplicates_suppressed += 1
+            return
         ctx = self.ranks[msg.dest]
         phase = ctx.stats.current
         if isinstance(msg, BatchedCall):
@@ -339,20 +567,26 @@ class World:
             if msg.source != msg.dest:
                 phase.bytes_received += msg.virtual_bytes
             handler = self.registry.handler(msg.handle.handler_id)
-            handler(ctx, *msg.args)
-            return
-        if isinstance(msg, SizedMessage):
+            args = msg.args
+        elif isinstance(msg, SizedMessage):
             phase.rpcs_executed += 1
             if msg.source != msg.dest:
                 phase.bytes_received += msg.nbytes
             handler = self.registry.handler(msg.handle.handler_id)
-            handler(ctx, *msg.args)
-            return
-        phase.rpcs_executed += 1
-        if msg.source != msg.dest:
-            phase.bytes_received += len(msg.payload)
-        handler, args = self.registry.decode_call(msg.payload)
+            args = msg.args
+        else:
+            phase.rpcs_executed += 1
+            if msg.source != msg.dest:
+                phase.bytes_received += len(msg.payload)
+            handler, args = self.registry.decode_call(msg.payload)
+        if self._drain_probe is not None:
+            name = getattr(handler, "__qualname__", None) or repr(handler)
+            self._drain_probe[name] = self._drain_probe.get(name, 0) + 1
         handler(ctx, *args)
+        if injector is not None:
+            # The crash triggers *after* the rank executed its k-th message
+            # in the configured phase (the rank dies having done the work).
+            injector.note_execution(msg.dest, ctx.stats.current_phase_name)
 
     def _drain_inboxes(self) -> bool:
         """Deliver every queued message (handlers may queue more). Returns
@@ -372,13 +606,41 @@ class World:
                     progressed = True
             if not any_delivered:
                 return progressed
+            self._note_sweep()
+
+    def _note_sweep(self) -> None:
+        """Livelock guard: count a delivery sweep against the barrier budget."""
+        self._barrier_sweeps += 1
+        limit = self.max_drain_sweeps
+        if limit is None:
+            return
+        if self._drain_probe is None and self._barrier_sweeps >= limit - _PROBE_WINDOW:
+            self._drain_probe = {}
+        if self._barrier_sweeps > limit:
+            phase = self._phase_order[-1] if self._phase_order else "<default>"
+            pending = {
+                rank: len(inbox)
+                for rank, inbox in enumerate(self._inboxes)
+                if inbox
+            }
+            hottest = sorted(
+                (self._drain_probe or {}).items(), key=lambda item: (-item[1], item[0])
+            )[:3]
+            raise LivelockError(limit, phase, pending, hottest)
 
     # ------------------------------------------------------------------
     def barrier(self) -> None:
-        """Flush all buffers and process messages until global quiescence."""
+        """Flush all buffers and process messages until global quiescence.
+
+        Quiescence under an installed fault plan additionally requires the
+        reliable transport to be idle: no delayed copies waiting and no
+        unacknowledged sends — the barrier keeps ticking the retry clock
+        until at-least-once delivery has landed everything exactly once.
+        """
         if self._in_delivery:
             raise WorldError("barrier() cannot be called from inside an RPC handler")
         self._in_delivery = True
+        self._barrier_sweeps = 0
         try:
             while True:
                 self._drain_inboxes()
@@ -387,10 +649,15 @@ class World:
                     if ctx.buffers.has_pending():
                         ctx.buffers.flush_all()
                         flushed_any = True
-                if not flushed_any and not any(self._inboxes):
-                    break
+                if flushed_any or any(self._inboxes):
+                    continue
+                if self._transport is not None and self._transport.pending:
+                    self._fault_tick()
+                    continue
+                break
         finally:
             self._in_delivery = False
+            self._drain_probe = None
         self.stats.barriers += 1
 
     # ------------------------------------------------------------------

@@ -35,6 +35,12 @@ from .worlds import (
     world_spec_names,
 )
 from .sampler import config_digest, sample_configs, sample_space
+from .chaos import (
+    ChaosCell,
+    ChaosParityError,
+    ChaosResult,
+    run_chaos_sweep,
+)
 from .runner import (
     ANALYSES,
     DEFAULT_ANALYSES,
@@ -47,9 +53,13 @@ from .runner import (
 )
 from .report import (
     SWEEP_SCHEMA,
+    chaos_payload,
+    format_chaos_markdown,
+    format_chaos_table,
     format_sweep_markdown,
     format_sweep_table,
     sweep_payload,
+    write_chaos_artifacts,
     write_sweep_artifacts,
 )
 
@@ -73,6 +83,11 @@ __all__ = [
     "config_digest",
     "sample_configs",
     "sample_space",
+    # chaos
+    "ChaosCell",
+    "ChaosParityError",
+    "ChaosResult",
+    "run_chaos_sweep",
     # runner
     "ANALYSES",
     "DEFAULT_ANALYSES",
@@ -84,8 +99,12 @@ __all__ = [
     "sweep_engine_axis",
     # report
     "SWEEP_SCHEMA",
+    "chaos_payload",
+    "format_chaos_markdown",
+    "format_chaos_table",
     "format_sweep_markdown",
     "format_sweep_table",
     "sweep_payload",
+    "write_chaos_artifacts",
     "write_sweep_artifacts",
 ]

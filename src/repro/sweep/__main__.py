@@ -12,7 +12,14 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .report import format_sweep_table, write_sweep_artifacts
+from ..runtime.faults import sample_fault_plans
+from .chaos import ChaosParityError, run_chaos_sweep
+from .report import (
+    format_chaos_table,
+    format_sweep_table,
+    write_chaos_artifacts,
+    write_sweep_artifacts,
+)
 from .runner import ANALYSES, DEFAULT_ANALYSES, SweepParityError, run_sweep
 from .sampler import config_digest, sample_space
 from .worlds import world_spec_names
@@ -66,12 +73,53 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-config progress lines"
     )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="run the chaos axis instead: --sample N fault plans across "
+        "engines × analyses, gated on recovery parity vs the fault-free "
+        "legacy baseline",
+    )
     return parser.parse_args(argv)
+
+
+def _run_chaos(args: argparse.Namespace, specs: List[str]) -> int:
+    """The ``--chaos`` mode: recovery-parity cells under sampled fault plans."""
+    n_configs = max(1, min(4, args.sample))
+    configs = sample_space(specs, n_configs, seed=args.seed)
+    plans = sample_fault_plans(args.sample, seed=args.seed)
+    print(
+        f"chaos: {len(plans)} fault plan(s) over {len(configs)} config(s) "
+        f"(seed={args.seed}, digest={config_digest(configs)})"
+    )
+    progress = None if args.quiet else (lambda line: print(f"  {line}", flush=True))
+    chaos = run_chaos_sweep(configs, plans, strict_parity=False, progress=progress)
+    markdown_path = None
+    if not args.no_markdown:
+        markdown_path = args.markdown or str(args.out).rsplit(".", 1)[0] + ".md"
+    json_path, md_path = write_chaos_artifacts(
+        chaos,
+        json_path=args.out,
+        markdown_path=markdown_path,
+        sample=args.sample,
+        seed=args.seed,
+        specs=specs,
+    )
+    print()
+    print(format_chaos_table(chaos))
+    print()
+    print(f"wrote {json_path}" + (f" and {md_path}" if md_path else ""))
+    failures = chaos.parity_failures()
+    if failures and not args.lenient:
+        print(str(ChaosParityError(failures)), file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parse_args(argv)
     specs: List[str] = list(args.specs) if args.specs else list(world_spec_names())
+    if args.chaos:
+        return _run_chaos(args, specs)
     configs = sample_space(specs, args.sample, seed=args.seed)
     print(
         f"sampled {len(configs)} configs from {len(specs)} spec(s) "

@@ -15,15 +15,20 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..bench.reporting import format_markdown_table, format_table
+from .chaos import ChaosResult
 from .runner import SweepResult
 from .worlds import WorldConfig
 
 __all__ = [
     "SWEEP_SCHEMA",
     "sweep_payload",
+    "chaos_payload",
     "format_sweep_table",
     "format_sweep_markdown",
+    "format_chaos_table",
+    "format_chaos_markdown",
     "write_sweep_artifacts",
+    "write_chaos_artifacts",
 ]
 
 #: Schema tag stamped into every JSON artifact so downstream diff tooling
@@ -165,6 +170,142 @@ def format_sweep_markdown(
         header.append(format_markdown_table(region_rows, columns=["kind", "cell", "detail"]))
     header.append("")
     return "\n".join(header)
+
+
+# ---------------------------------------------------------------------------
+# Chaos axis (``--chaos``): recovery-parity cells under sampled fault plans
+# ---------------------------------------------------------------------------
+
+#: Tabular projection of a chaos cell (JSON rows keep every field).
+_CHAOS_COLUMNS = (
+    "config",
+    "engine",
+    "analysis",
+    "plan_kind",
+    "restarts",
+    "replayed_batches",
+    "extra_comm_bytes",
+    "degraded",
+    "relative_error",
+    "parity_ok",
+)
+
+
+def chaos_payload(
+    chaos: ChaosResult,
+    sample: Optional[int] = None,
+    seed: Optional[int] = None,
+    specs: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """The machine-readable artifact for one ``--chaos`` run.
+
+    Same ``repro.sweep/v1`` schema; the coverage map's ``rows`` are the
+    fault-free legacy baselines the chaos cells were gated against, and the
+    ``chaos`` section carries the recovery-parity cells plus the sampled
+    plans that produced them — enough to replay any cell from the artifact.
+    """
+    failures = chaos.parity_failures()
+    degraded = [cell for cell in chaos.cells if cell.degraded]
+    return {
+        "schema": SWEEP_SCHEMA,
+        "mode": "chaos",
+        "sample": sample if sample is not None else len(chaos.plans),
+        "seed": seed,
+        "specs": list(specs) if specs is not None else sorted(
+            {config.spec for config in chaos.configs}
+        ),
+        "configs": _describe_configs(chaos.configs),
+        "rows": [cell.as_row() for cell in chaos.baseline_cells()],
+        "chaos": {
+            "plans": [plan.describe() for plan in chaos.plans],
+            "rows": chaos.rows(),
+            "failures": [cell.label() for cell in failures],
+        },
+        "counts": {
+            "configs": len(chaos.configs),
+            "cells": len(chaos.cells),
+            "parity_failures": len(failures),
+            "degraded": len(degraded),
+            "restarts": sum(cell.restarts for cell in chaos.cells),
+            "replayed_batches": sum(cell.replayed_batches for cell in chaos.cells),
+        },
+    }
+
+
+def format_chaos_table(chaos: ChaosResult, title: str = "chaos sweep") -> str:
+    """Aligned plain-text recovery-parity map."""
+    lines = [format_table(chaos.rows(), columns=list(_CHAOS_COLUMNS), title=title), ""]
+    failures = chaos.parity_failures()
+    lines.append("recovery-parity failures")
+    if not failures:
+        lines.append(
+            "  (none — every recovered cell matched its fault-free baseline)"
+        )
+    else:
+        lines += [f"  FAIL {cell.label()}: {cell.parity_detail}" for cell in failures]
+    return "\n".join(lines)
+
+
+def format_chaos_markdown(
+    chaos: ChaosResult,
+    sample: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """Markdown rendering of the chaos coverage map."""
+    counts = chaos_payload(chaos, sample=sample, seed=seed)["counts"]
+    lines = [
+        "# Chaos sweep coverage map",
+        "",
+        f"- cells: {counts['cells']}",
+        f"- configs: {counts['configs']}",
+        f"- restarts: {counts['restarts']}",
+        f"- replayed batches: {counts['replayed_batches']}",
+        f"- degraded (permanent loss): {counts['degraded']}",
+        f"- seed: {seed if seed is not None else '-'}",
+        "",
+        "## Recovery-parity cells",
+        "",
+        format_markdown_table(chaos.rows(), columns=list(_CHAOS_COLUMNS)),
+        "",
+        "## Failures",
+        "",
+    ]
+    failures = chaos.parity_failures()
+    if not failures:
+        lines.append("None — every recovered cell matched its fault-free baseline.")
+    else:
+        lines.append(
+            format_markdown_table(
+                [
+                    {"cell": cell.label(), "detail": cell.parity_detail}
+                    for cell in failures
+                ],
+                columns=["cell", "detail"],
+            )
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_chaos_artifacts(
+    chaos: ChaosResult,
+    json_path: Union[str, Path],
+    markdown_path: Optional[Union[str, Path]] = None,
+    sample: Optional[int] = None,
+    seed: Optional[int] = None,
+    specs: Optional[Sequence[str]] = None,
+) -> Tuple[Path, Optional[Path]]:
+    """Write the chaos JSON payload (and optionally the markdown map)."""
+    json_path = Path(json_path)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    payload = chaos_payload(chaos, sample=sample, seed=seed, specs=specs)
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    md_path: Optional[Path] = None
+    if markdown_path is not None:
+        md_path = Path(markdown_path)
+        md_path.parent.mkdir(parents=True, exist_ok=True)
+        md_path.write_text(format_chaos_markdown(chaos, sample=sample, seed=seed))
+    return json_path, md_path
 
 
 def write_sweep_artifacts(

@@ -25,6 +25,7 @@ def test_required_documents_exist():
         "docs/reducers.md",
         "docs/benchmarks.md",
         "docs/sweeps.md",
+        "docs/faults.md",
     ):
         path = REPO_ROOT / name
         assert path.is_file() and path.stat().st_size > 0, name

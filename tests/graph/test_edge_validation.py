@@ -1,0 +1,119 @@
+"""Columnar input validation: malformed endpoint columns fail loudly.
+
+``validate_edge_columns`` guards both columnar ingestion paths
+(``DistributedGraph.from_columns`` and ``DeltaBuffer.stage_columns``): a
+float id column would otherwise truncate silently through ``int()``, and a
+ragged or negative column would surface as a confusing partitioner error
+deep inside the build.  Every rejection must name the offending column so
+the error points at the caller's data, not the graph internals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.graph import validate_edge_columns
+from repro.graph.delta import DeltaBuffer
+from repro.graph.distributed_graph import DistributedGraph
+from repro.runtime.world import World
+
+
+class TestValidColumns:
+    def test_plain_lists_pass(self):
+        validate_edge_columns([0, 1, 2], [1, 2, 0])
+
+    def test_numpy_integer_columns_pass(self):
+        validate_edge_columns(
+            np.array([0, 1, 2], dtype=np.int64),
+            np.array([1, 2, 0], dtype=np.int32),
+        )
+
+    def test_empty_columns_pass(self):
+        validate_edge_columns([], [])
+        validate_edge_columns(np.array([], dtype=np.int64), [])
+
+    def test_numpy_scalars_in_lists_pass(self):
+        validate_edge_columns([np.int64(3), np.int32(1)], [np.int64(0), 2])
+
+    def test_matching_edge_metas_pass(self):
+        validate_edge_columns([0, 1], [1, 2], edge_metas=["a", "b"])
+
+
+class TestRaggedColumns:
+    def test_endpoint_length_mismatch_names_both_columns(self):
+        with pytest.raises(ValueError, match="ragged") as excinfo:
+            validate_edge_columns([0, 1, 2], [1, 2])
+        message = str(excinfo.value)
+        assert "'us'" in message and "'vs'" in message
+
+    def test_edge_metas_length_mismatch(self):
+        with pytest.raises(ValueError, match="edge_metas"):
+            validate_edge_columns([0, 1], [1, 2], edge_metas=["only-one"])
+
+
+class TestBadIds:
+    def test_float_numpy_column_rejected(self):
+        with pytest.raises(ValueError, match="non-integer dtype") as excinfo:
+            validate_edge_columns(np.array([0.0, 1.5]), np.array([1, 2]))
+        assert "'us'" in str(excinfo.value)
+
+    def test_float_column_named_even_when_second(self):
+        with pytest.raises(ValueError) as excinfo:
+            validate_edge_columns(np.array([0, 1]), np.array([1.0, 2.0]))
+        assert "'vs'" in str(excinfo.value)
+
+    def test_negative_numpy_ids_rejected(self):
+        with pytest.raises(ValueError, match="negative vertex ids"):
+            validate_edge_columns(np.array([0, -3]), np.array([1, 2]))
+
+    def test_float_list_coerces_and_is_rejected(self):
+        # A plain list with a float entry coerces to a float64 array, so
+        # the vectorized dtype check catches it before the per-entry scan.
+        with pytest.raises(ValueError, match="non-integer dtype"):
+            validate_edge_columns([0, 2.5], [1, 2])
+
+    def test_float_entry_in_object_column_rejected(self):
+        # Object columns fall back to the per-entry scan, which names the
+        # offending entry's index and type.
+        column = np.array([0, 2.5], dtype=object)
+        with pytest.raises(ValueError, match="entry 1") as excinfo:
+            validate_edge_columns(column, [1, 2])
+        assert "float" in str(excinfo.value)
+
+    def test_bool_entry_in_object_column_rejected(self):
+        # bool is an int subclass; accepting it would silently map True -> 1.
+        column = np.array([0, True], dtype=object)
+        with pytest.raises(ValueError, match="bool"):
+            validate_edge_columns(column, [1, 2])
+
+    def test_negative_entry_in_object_column_rejected(self):
+        us = np.array([0, 1], dtype=object)
+        vs = np.array([1, -2], dtype=object)
+        with pytest.raises(ValueError, match="negative vertex id at entry 1"):
+            validate_edge_columns(us, vs)
+
+
+class TestIngestionPaths:
+    def test_from_columns_rejects_float_ids(self):
+        world = World(4)
+        with pytest.raises(ValueError, match="non-integer dtype"):
+            DistributedGraph.from_columns(
+                world, np.array([0.5, 1.5]), np.array([1, 2]), name="g"
+            )
+
+    def test_stage_columns_rejects_before_staging(self):
+        world = World(4)
+        buffer = DeltaBuffer(world)
+        with pytest.raises(ValueError, match="ragged"):
+            buffer.stage_columns([0, 1, 2], [1, 2])
+        assert buffer.pending_edges == 0
+
+    def test_stage_columns_accepts_valid_columns(self):
+        world = World(4)
+        buffer = DeltaBuffer(world)
+        buffer.stage_columns(
+            np.array([0, 1, 2]), np.array([1, 2, 3]), edge_metas=[1.0, 2.0, 3.0]
+        )
+        assert buffer.pending_edges == 3

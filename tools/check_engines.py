@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Engine registry smoke: docs and registry agree, every engine runs clean.
 
-Three checks, exit status 1 on any failure (each printed to stderr):
+Four checks, exit status 1 on any failure (each printed to stderr):
 
 1. **Listing parity** — the engine names in README.md's engine-selector
    table (the rows of the ``| Engine |`` table) must equal the registry
@@ -16,6 +16,11 @@ Three checks, exit status 1 on any failure (each printed to stderr):
    (:func:`repro.sweep.sweep_engine_axis`) must equal the registry, and a
    one-config sweep must produce a cell for every engine — so a newly
    registered engine can never be silently missing from the coverage map.
+4. **Reducer contract** — every reducer in
+   :data:`repro.core.callbacks.REDUCER_REGISTRY` must expose the
+   ``snapshot()`` / ``merge()`` / ``callback_batch`` trio (and the plain
+   ``callback``), so streaming windows, checkpoint/restart recovery and the
+   columnar engines work with every registered reducer.
 
 Used by the docs CI job (``python tools/check_engines.py``) and mirrored in
 ``tests/docs/test_docs.py`` so registry/README drift fails tier-1 first.
@@ -105,6 +110,36 @@ def check_sweep_axis(registered: Tuple[str, ...]) -> List[str]:
     return errors
 
 
+def check_reducer_contract() -> List[str]:
+    """Every registered reducer exposes the streaming/columnar trio (check 4)."""
+    from repro.core.callbacks import registered_reducers
+
+    errors: List[str] = []
+    required = ("callback", "callback_batch", "snapshot", "merge")
+    for name, reducer_cls in registered_reducers().items():
+        world = World(2)
+        reducer = reducer_cls(world)
+        missing = [
+            attr for attr in required if not callable(getattr(reducer, attr, None))
+        ]
+        if missing:
+            errors.append(
+                f"reducer {name!r} ({reducer_cls.__name__}) is missing "
+                f"{', '.join(missing)}"
+            )
+            continue
+        # The snapshot/merge pair must round-trip an empty survey: merging
+        # two empty panels yields an empty panel of the same shape.
+        snap = reducer.snapshot()
+        merged = type(reducer).merge([snap, snap])
+        if type(merged) is not type(snap):
+            errors.append(
+                f"reducer {name!r}: merge() returned {type(merged).__name__}, "
+                f"expected {type(snap).__name__}"
+            )
+    return errors
+
+
 def main() -> int:
     errors: List[str] = []
 
@@ -129,14 +164,19 @@ def main() -> int:
                 )
 
     errors.extend(check_sweep_axis(registered))
+    errors.extend(check_reducer_contract())
 
     if errors:
         for error in errors:
             print(f"check_engines: {error}", file=sys.stderr)
         return 1
+    from repro.core.callbacks import reducer_names
+
     print(
         f"check_engines: {len(registered)} engines documented, parity-clean, "
-        f"and on the sweep axis ({', '.join(registered)})"
+        f"and on the sweep axis ({', '.join(registered)}); "
+        f"{len(reducer_names())} reducers honour the "
+        "snapshot/merge/callback_batch contract"
     )
     return 0
 
