@@ -11,6 +11,7 @@ from .reporting import (
     format_table,
     human_bytes,
     human_count,
+    percentiles,
 )
 from .scaling import (
     ScalingPoint,
@@ -53,4 +54,5 @@ __all__ = [
     "format_matrix",
     "human_bytes",
     "human_count",
+    "percentiles",
 ]

@@ -19,7 +19,37 @@ __all__ = [
     "format_matrix",
     "human_bytes",
     "human_count",
+    "percentiles",
 ]
+
+
+def percentiles(
+    values: Iterable[float],
+    ps: Sequence[float] = (50, 90, 99),
+) -> Dict[str, Optional[float]]:
+    """Linear-interpolation percentiles of ``values`` keyed ``"p50"``-style.
+
+    The estimator is the standard ``rank = (n - 1) * p / 100`` linear
+    interpolation (NumPy's default), in pure Python so every benchmark can
+    use it whether or not NumPy is installed.  Empty input yields ``None``
+    for every requested percentile; a singleton yields that value.  Keys
+    drop a trailing ``.0`` (``p99.9`` stays ``"p99.9"``).
+    """
+    data = sorted(float(v) for v in values)
+    out: Dict[str, Optional[float]] = {}
+    for p in ps:
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p!r}")
+        key = f"p{int(p)}" if float(p) == int(p) else f"p{p}"
+        if not data:
+            out[key] = None
+            continue
+        rank = (len(data) - 1) * p / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, len(data) - 1)
+        frac = rank - lo
+        out[key] = data[lo] + (data[hi] - data[lo]) * frac
+    return out
 
 
 def human_bytes(value: float) -> str:

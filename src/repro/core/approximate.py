@@ -57,6 +57,25 @@ class ApproximateCount:
     def scale_factor(self) -> float:
         return 1.0 / self.probability**3
 
+    @property
+    def stderr(self) -> float:
+        """Binomial-thinning standard error of :attr:`estimate` (heuristic).
+
+        Each of the ``~estimate`` true triangles keeps all three edges with
+        probability ``p^3``, so the scaled-up count carries a standard
+        error of ``sqrt(estimate * (1/p^3 - 1))`` — the same heuristic as
+        :attr:`SurvivorEstimate.stderr`, here over edge sampling.  (The
+        DOULION variance also has cross terms from triangles sharing
+        edges; this is the independent-thinning floor, exact at ``p = 1``.)
+        """
+        p3 = self.probability**3
+        return float(np.sqrt(max(self.estimate, 0.0) * (1.0 / p3 - 1.0)))
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """``z``-sigma interval around the estimate (clamped at zero)."""
+        spread = z * self.stderr
+        return (max(0.0, self.estimate - spread), self.estimate + spread)
+
     def relative_error(self, exact: int) -> float:
         """|estimate - exact| / exact (for evaluation against a known truth)."""
         if exact == 0:

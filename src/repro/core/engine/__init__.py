@@ -124,6 +124,7 @@ from .checkpoint import (  # noqa: E402
     RecoveryLog,
     ResilientStreamingStep,
     ResilientSurveyResult,
+    StaleCheckpointError,
     StreamingCheckpoint,
     run_survey_with_recovery,
 )
@@ -134,6 +135,7 @@ __all__ += [
     "RecoveryLog",
     "ResilientStreamingStep",
     "ResilientSurveyResult",
+    "StaleCheckpointError",
     "StreamingCheckpoint",
     "run_survey_with_recovery",
 ]

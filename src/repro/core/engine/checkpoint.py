@@ -56,7 +56,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional
 from ...graph.delta import AppliedDelta, DeltaBuffer
 from ...graph.distributed_graph import DistributedGraph
 from ...graph.dodgr import DODGraph
-from ...runtime.faults import FaultPlan, RankCrashError
+from ...runtime.faults import FaultPlan, RankCrashError, fault_plan_digest
 from .request import (
     DEFAULT_CALLBACK_COMPUTE_UNITS,
     SurveyRequest,
@@ -66,11 +66,37 @@ __all__ = [
     "CheckpointPolicy",
     "RecoveryLog",
     "ResilientSurveyResult",
+    "StaleCheckpointError",
     "StreamingCheckpoint",
     "ResilientStreamingStep",
     "CheckpointedStreamingSurvey",
     "run_survey_with_recovery",
 ]
+
+
+class StaleCheckpointError(RuntimeError):
+    """A resume tried to replay against a different fault schedule.
+
+    Replay correctness relies on determinism: the retained batches must
+    re-survey under the *same* seeded :class:`~repro.runtime.faults.FaultPlan`
+    the checkpoint was taken under, or the recovered panels could silently
+    diverge from the fault-free stream.  Each checkpoint therefore stamps
+    :func:`~repro.runtime.faults.fault_plan_digest` of the armed plan, and
+    :meth:`CheckpointedStreamingSurvey._restore_checkpoint` re-validates it
+    before rolling back.
+    """
+
+    def __init__(
+        self, checkpoint_digest: Optional[str], armed_digest: Optional[str]
+    ) -> None:
+        self.checkpoint_digest = checkpoint_digest
+        self.armed_digest = armed_digest
+        super().__init__(
+            "stale checkpoint: taken under fault plan digest "
+            f"{checkpoint_digest!r} but the armed plan digests to "
+            f"{armed_digest!r}; re-arm the original plan (or discard the "
+            "checkpoint) before resuming"
+        )
 
 
 @dataclass(frozen=True)
@@ -260,6 +286,9 @@ class StreamingCheckpoint:
     #: per-rank wire totals accumulated since the stream started —
     #: ``{rank: {"wire_bytes": ..., "wire_messages": ..., "bytes_sent_remote": ...}}``
     wire_totals: Dict[int, Dict[str, int]]
+    #: digest of the fault plan armed when the checkpoint was taken
+    #: (``None`` = fault-free); validated on restore (stale-checkpoint guard)
+    plan_digest: Optional[str] = None
 
 
 class ResilientStreamingStep:
@@ -501,12 +530,21 @@ class CheckpointedStreamingSurvey:
         )
         return retired
 
+    def _armed_plan_digest(self) -> Optional[str]:
+        injector = self.world.fault_injector
+        return fault_plan_digest(injector.plan if injector is not None else None)
+
     def _restore_checkpoint(self) -> None:
         """Roll panel state back to the last epoch (or the empty stream)."""
         if self._checkpoint is None:
             self._panels = deque()
             self._cumulative = None
             return
+        armed = self._armed_plan_digest()
+        if armed != self._checkpoint.plan_digest:
+            # Replaying retained batches under a different fault schedule
+            # would silently break recovery parity; fail loudly instead.
+            raise StaleCheckpointError(self._checkpoint.plan_digest, armed)
         self._panels = deque(self._checkpoint.panels)
         self._cumulative = self._checkpoint.cumulative
 
@@ -516,6 +554,7 @@ class CheckpointedStreamingSurvey:
             panels=list(self._panels),
             cumulative=self._cumulative,
             wire_totals={rank: dict(t) for rank, t in self._wire_totals.items()},
+            plan_digest=self._armed_plan_digest(),
         )
         # Truncate the replay log; retained graph snapshots (each batch's
         # DODGr) are only needed for replay, so all but the live one free.

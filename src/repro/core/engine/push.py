@@ -40,6 +40,9 @@ def run_push_survey(request: SurveyRequest, spec: EngineSpec) -> SurveyResult:
     host_start = time.perf_counter()
     world.begin_phase(request.phase_name)
     for ctx in world.ranks:
+        # Cooperative cancellation checkpoint: a service-installed deadline
+        # aborts between per-rank batches instead of mid-RPC.
+        world.check_deadline()
         drive_push(spec.push_style, ctx, dodgr, handler)
     world.barrier()
     host_seconds = time.perf_counter() - host_start

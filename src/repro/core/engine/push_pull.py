@@ -119,6 +119,9 @@ def run_push_pull_survey(request: SurveyRequest, spec: EngineSpec) -> SurveyResu
     # ------------------------------------------------------------------
     world.begin_phase(DRY_RUN_PHASE)
     for ctx in world.ranks:
+        # Cooperative cancellation checkpoint (see push.py): deadlines
+        # abort between per-rank batches, never mid-RPC.
+        world.check_deadline()
         rank = ctx.rank
         store = dodgr.local_store(ctx)
         candidate_totals: Dict[Any, int] = {}
@@ -176,6 +179,7 @@ def run_push_pull_survey(request: SurveyRequest, spec: EngineSpec) -> SurveyResu
     # ------------------------------------------------------------------
     world.begin_phase(PUSH_PHASE)
     for ctx in world.ranks:
+        world.check_deadline()
         drive_push(
             spec.push_style, ctx, dodgr, h_intersect, allowed=push_targets[ctx.rank]
         )
@@ -186,6 +190,7 @@ def run_push_pull_survey(request: SurveyRequest, spec: EngineSpec) -> SurveyResu
     # ------------------------------------------------------------------
     world.begin_phase(PULL_PHASE)
     for ctx in world.ranks:
+        world.check_deadline()
         drive_pull(spec.pull_style, ctx, dodgr, h_pull_deliver, pull_lists[ctx.rank])
     world.barrier()
 

@@ -30,8 +30,9 @@ byte-identical Table 4 communication totals.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from .request import EngineConfig
 
@@ -124,6 +125,18 @@ def _downgrade_without_numpy(spec: EngineSpec) -> EngineSpec:
     return spec
 
 
+def suggest_name(name: Any, known: Iterable[str]) -> str:
+    """A ``; did you mean ...?`` suffix for unknown-name errors.
+
+    Shared by the engine registry, the sweep runner's analysis axis and the
+    survey service so every unknown-name error reads the same way.  Returns
+    an empty string when nothing in ``known`` is close enough — errors stay
+    clean for genuinely foreign names.
+    """
+    matches = difflib.get_close_matches(str(name), list(known), n=1, cutoff=0.6)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
+
+
 def _lookup(engine: Any, batched: bool = False) -> EngineSpec:
     """Resolve a selector to its registered spec, without NumPy downgrading."""
     if isinstance(engine, EngineSpec):
@@ -142,6 +155,7 @@ def _lookup(engine: Any, batched: bool = False) -> EngineSpec:
     if spec is None:
         raise ValueError(
             f"unknown survey engine {engine!r}; known: {engine_names()}"
+            f"{suggest_name(engine, engine_names())}"
         )
     return spec
 
@@ -178,6 +192,7 @@ def resolve_incremental_engine(engine: Any = None) -> EngineSpec:
         raise ValueError(
             f"unknown incremental engine {spec.name!r}; known: "
             f"{incremental_engine_names()}"
+            f"{suggest_name(spec.name, incremental_engine_names())}"
         )
     if spec.incremental_style == "columnar" and _np is None:
         spec = _REGISTRY["legacy"]

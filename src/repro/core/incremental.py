@@ -207,12 +207,15 @@ def incremental_triangle_survey(
         overhead_full = legacy_push_payload_overhead(h_full.handler_id)
         overhead_new = legacy_push_payload_overhead(h_new.handler_id)
         for ctx in world.ranks:
+            # Cooperative cancellation checkpoint (see engine/push.py).
+            world.check_deadline()
             drive_columnar_delta(
                 ctx, dodgr, delta, h_full, h_new, overhead_full, overhead_new
             )
     else:
         new_sources = new_source_vertices(delta)
         for ctx in world.ranks:
+            world.check_deadline()
             drive_legacy_delta(ctx, dodgr, delta, h_full, h_new, new_sources)
     world.barrier()
     host_seconds = time.perf_counter() - host_start

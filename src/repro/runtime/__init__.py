@@ -18,6 +18,7 @@ from .faults import (
     FaultPlan,
     FaultStats,
     RankCrashError,
+    fault_plan_digest,
     sample_fault_plans,
 )
 from .message_buffer import DEFAULT_FLUSH_THRESHOLD, BufferBank, MessageBuffer
@@ -51,6 +52,7 @@ __all__ = [
     "FaultInjector",
     "FaultStats",
     "RankCrashError",
+    "fault_plan_digest",
     "sample_fault_plans",
     "stable_hash",
     "RpcRegistry",

@@ -37,6 +37,8 @@ runs stay bit-and-byte identical to a build without this module.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, List, Optional, Tuple
@@ -48,10 +50,26 @@ __all__ = [
     "RankCrashError",
     "ReliableTransport",
     "Envelope",
+    "fault_plan_digest",
     "message_wire_bytes",
     "sample_fault_plans",
     "PLAN_KINDS",
 ]
+
+
+def fault_plan_digest(plan: Optional["FaultPlan"]) -> Optional[str]:
+    """Stable short digest identifying a fault schedule (``None`` plan → ``None``).
+
+    Checkpoints stamp this so a resume can prove it is replaying against
+    the same deterministic fault schedule it was taken under (see the
+    stale-checkpoint guard in ``core/engine/checkpoint.py``).  Built from
+    the sorted-key JSON of :meth:`FaultPlan.describe`, so two plans digest
+    equal iff they are field-for-field identical.
+    """
+    if plan is None:
+        return None
+    payload = json.dumps(plan.describe(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 class RankCrashError(RuntimeError):

@@ -346,6 +346,10 @@ class World:
         self._transport: Optional[ReliableTransport] = None
         self._barrier_sweeps = 0
         self._drain_probe: Optional[Dict[str, int]] = None
+        #: Cooperative cancellation: any object with a ``check()`` method
+        #: that raises when its budget is spent (duck-typed so the runtime
+        #: layer never imports the service layer).  Dormant by default.
+        self._deadline: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -459,6 +463,44 @@ class World:
             yield
         finally:
             self._injector, self._transport = injector, transport
+
+    # ------------------------------------------------------------------
+    # Deadline lifecycle (cooperative cancellation)
+    # ------------------------------------------------------------------
+    def install_deadline(self, deadline: Optional[Any]) -> None:
+        """Arm (or, with ``None``, disarm) a cooperative deadline.
+
+        ``deadline`` is duck-typed: any object with a ``check()`` method
+        that raises when its time budget is spent (the service layer
+        passes :class:`repro.service.deadline.Deadline`).  The world polls
+        it once per delivery sweep inside :meth:`barrier`, so even a fault
+        plan's retransmit loop cannot outlive the budget; engine drivers
+        add coarser per-rank checkpoints on top.
+        """
+        self._deadline = deadline
+
+    def clear_deadline(self) -> None:
+        self._deadline = None
+
+    def check_deadline(self) -> None:
+        """Cooperative cancellation checkpoint (no-op while dormant)."""
+        if self._deadline is not None:
+            self._deadline.check()
+
+    @contextmanager
+    def deadline_scope(self, deadline: Optional[Any]) -> Iterator[None]:
+        """Install ``deadline`` for the duration of the block.
+
+        Restores whatever deadline was armed before, so nested scopes
+        compose; an expiry escapes as the deadline's own exception with
+        the previous deadline already restored.
+        """
+        previous = self._deadline
+        self._deadline = deadline
+        try:
+            yield
+        finally:
+            self._deadline = previous
 
     def recover_from_crash(self) -> None:
         """Restart crashed ranks: discard all volatile in-flight state.
@@ -610,6 +652,8 @@ class World:
 
     def _note_sweep(self) -> None:
         """Livelock guard: count a delivery sweep against the barrier budget."""
+        if self._deadline is not None:
+            self._deadline.check()
         self._barrier_sweeps += 1
         limit = self.max_drain_sweeps
         if limit is None:

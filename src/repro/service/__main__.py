@@ -1,0 +1,129 @@
+"""CLI entry point: ``python -m repro.service --queries 40 --chaos``.
+
+Runs the resident survey service against a seeded synthetic workload —
+ingest batches interleaved with query bursts, optionally under a chaos
+fault plan — and prints the outcome taxonomy, latency percentiles and
+the health/introspection snapshot.  Exit status 1 when any query goes
+unanswered (the no-hang contract) or a fault-free exact answer diverges
+from a direct survey at its epoch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from ..bench.reporting import percentiles
+from ..bench.traffic import (
+    make_query_traffic,
+    make_service_workload,
+    run_query_traffic,
+)
+from ..runtime.faults import FaultPlan
+from ..runtime.world import World
+from .service import ServicePolicy, SurveyService
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description=(
+            "Drive the resident survey service with synthetic query traffic."
+        ),
+    )
+    parser.add_argument(
+        "--ranks", type=int, default=4, help="virtual ranks (default 4)"
+    )
+    parser.add_argument(
+        "--scale", type=int, default=7, help="R-MAT scale of the workload (default 7)"
+    )
+    parser.add_argument(
+        "--batches", type=int, default=4, help="ingest batches (default 4)"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=40, help="queries to issue (default 40)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload + traffic seed (default 0)"
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="admission-control queue bound (default 8)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="default per-query deadline in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="arm a recoverable crash + message-fault plan",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON only"
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+    world = World(args.ranks)
+    plan = None
+    if args.chaos:
+        plan = FaultPlan(
+            seed=args.seed,
+            drop_rate=0.02,
+            duplicate_rate=0.02,
+            delay_rate=0.05,
+            crash_rank=args.seed % args.ranks,
+            crash_after_executions=50,
+            crash_recoverable=True,
+        )
+    service = SurveyService(
+        world,
+        plan=plan,
+        policy=ServicePolicy(
+            max_queue_depth=args.queue_depth,
+            default_timeout_s=args.timeout,
+        ),
+    )
+    batches, vertex_meta = make_service_workload(
+        scale=args.scale, num_batches=args.batches, seed=args.seed
+    )
+    trace = make_query_traffic(
+        num_batches=len(batches), num_queries=args.queries, seed=args.seed
+    )
+    result = run_query_traffic(
+        service, trace, batches=batches, vertex_meta=vertex_meta
+    )
+    stats = service.stats()
+    summary = {
+        "queries": len(result.answers),
+        "outcomes": result.outcome_counts(),
+        "latency_s": percentiles(result.latencies_s),
+        "queries_per_second": result.queries_per_second,
+        "cache": service.cache.as_dict(),
+        "stats": stats.as_dict(),
+        "health": service.health(),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, default=str))
+    else:
+        print(f"answered {summary['queries']} queries over "
+              f"{result.ingested_batches} ingest batches "
+              f"({result.queries_per_second:.1f} q/s)")
+        print(f"outcomes: {summary['outcomes']}")
+        lat = summary["latency_s"]
+        print(
+            "latency: "
+            + ", ".join(f"{k}={v * 1e3:.2f}ms" for k, v in lat.items() if v is not None)
+        )
+        print(f"cache: {summary['cache']}")
+        print(f"health: {summary['health']}")
+    service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""The reducer-panel cache: the millionth identical query is a dict hit.
+
+Panels are immutable snapshots (the reducer ``snapshot()``/``merge()``
+contract), so a panel computed once for ``(analysis, engine, epoch,
+window)`` answers every later identical query at that epoch verbatim.
+Two properties make the keying safe:
+
+* **epoch in the key** — a new ingest batch moves the service to a new
+  epoch, so stale panels can never be served for fresh data; old epochs'
+  entries age out of the LRU naturally.
+* **cross-engine equivalence** — every registered engine produces
+  bit-identical panels (the equivalence contract the sweep gates), so an
+  exact panel cached under one engine validly answers the same query
+  issued against another.  The cache keeps a secondary index keyed
+  ``(analysis, epoch, window)`` for exactly that lookup; only *exact*
+  panels enter it (approximate entries are estimator-specific).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+__all__ = ["CacheEntry", "PanelCache"]
+
+CacheKey = Tuple[str, str, int, Optional[int]]
+
+
+class CacheEntry:
+    """One cached answer payload: an exact panel or a degraded estimate."""
+
+    __slots__ = ("panel", "estimate", "engine", "exact")
+
+    def __init__(
+        self,
+        panel: Any = None,
+        estimate: Any = None,
+        engine: str = "",
+        exact: bool = True,
+    ) -> None:
+        self.panel = panel
+        self.estimate = estimate
+        self.engine = engine
+        self.exact = exact
+
+
+class PanelCache:
+    """LRU cache of survey answers keyed on (analysis, engine, epoch, window)."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        #: (analysis, epoch, window) -> key of an exact entry (equivalence index)
+        self._exact_index: Dict[Tuple[str, int, Optional[int]], CacheKey] = {}
+        self.hits = 0
+        self.misses = 0
+        self.equivalent_hits = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(
+        analysis: str, engine: str, epoch: int, window: Optional[int]
+    ) -> CacheKey:
+        return (analysis, engine, epoch, window)
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def get_equivalent(
+        self, analysis: str, epoch: int, window: Optional[int]
+    ) -> Optional[CacheEntry]:
+        """An exact entry for this query under *any* engine.
+
+        Valid by the cross-engine equivalence contract; does not count
+        toward :attr:`hits`/:attr:`misses` (callers try :meth:`get` first).
+        """
+        key = self._exact_index.get((analysis, epoch, window))
+        if key is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:  # evicted since indexed
+            del self._exact_index[(analysis, epoch, window)]
+            return None
+        self._entries.move_to_end(key)
+        self.equivalent_hits += 1
+        return entry
+
+    def put(self, key: CacheKey, entry: CacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        if entry.exact:
+            analysis, _, epoch, window = key
+            self._exact_index[(analysis, epoch, window)] = key
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Direct-hit rate over all :meth:`get` lookups (0.0 when idle)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "equivalent_hits": self.equivalent_hits,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,79 @@
+"""Monotonic-clock deadlines with cooperative cancellation.
+
+A :class:`Deadline` is the query-scoped time budget the survey service
+threads through ``execute_survey``: the :class:`~repro.runtime.World`
+polls it once per delivery sweep (see ``World.check_deadline``), and the
+engine drivers poll it between per-rank batches, so a running survey
+observes expiry at the next checkpoint instead of hanging.  Expiry is
+reported by raising :class:`DeadlineExceeded` — callers catch it, clear
+the world's volatile in-flight state, and walk the degradation ladder.
+
+Deadlines are measured on ``time.monotonic`` so wall-clock adjustments
+can never extend or shrink a budget.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class DeadlineExceeded(Exception):
+    """A cooperative cancellation point found the time budget exhausted."""
+
+    def __init__(self, deadline: "Deadline") -> None:
+        self.deadline = deadline
+        super().__init__(
+            f"deadline of {deadline.budget_s:.3f}s exceeded "
+            f"({deadline.elapsed():.3f}s elapsed)"
+        )
+
+
+class Deadline:
+    """A fixed time budget anchored to the monotonic clock.
+
+    ``clock`` is injectable for tests (pass a fake monotonic function to
+    expire a deadline without sleeping).
+    """
+
+    __slots__ = ("budget_s", "_start", "_clock")
+
+    def __init__(
+        self,
+        budget_s: float,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if budget_s < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {budget_s!r}")
+        self.budget_s = float(budget_s)
+        self._clock = clock if clock is not None else time.monotonic
+        self._start = self._clock()
+
+    @classmethod
+    def after(
+        cls, budget_s: float, clock: Optional[Callable[[], float]] = None
+    ) -> "Deadline":
+        """A deadline expiring ``budget_s`` seconds from now."""
+        return cls(budget_s, clock=clock)
+
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (clamped at zero)."""
+        return max(0.0, self.budget_s - self.elapsed())
+
+    def expired(self) -> bool:
+        return self.elapsed() >= self.budget_s
+
+    def check(self) -> None:
+        """Cooperative cancellation point: raise if the budget is spent."""
+        if self.expired():
+            raise DeadlineExceeded(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline(budget_s={self.budget_s!r}, "
+            f"remaining={self.remaining():.3f})"
+        )

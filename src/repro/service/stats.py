@@ -1,0 +1,120 @@
+"""Service introspection: counters, outcome taxonomy, health snapshots.
+
+Every answer the service produces lands in exactly one outcome bucket
+(:data:`OUTCOMES`), so the taxonomy partitions traffic: summing the
+buckets gives total answered queries, and the non-``exact``/``cached``
+buckets are precisely the degradations.  :class:`ServiceCounters` is the
+mutable tally the service updates in place; :class:`ServiceStats` is the
+frozen, JSON-ready snapshot (counters plus point-in-time gauges like
+queue depth and epoch lag) handed to benchmarks, the CLI and health
+endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+__all__ = ["OUTCOMES", "ServiceCounters", "ServiceStats"]
+
+#: Per-query outcome taxonomy, from best to most degraded:
+#: ``cached``  — served from the panel cache (exact, zero survey work);
+#: ``exact``   — a fresh survey ran on the pinned epoch's graph;
+#: ``resumed`` — served from the resident ledger's checkpointed panels;
+#: ``approximate`` — a sampled/survivor estimate with stderr + CI;
+#: ``shed``    — rejected by admission control with a retry-after hint.
+OUTCOMES: Tuple[str, ...] = ("cached", "exact", "resumed", "approximate", "shed")
+
+#: Outcomes that count as degradations (the query got an answer, but not
+#: the fresh exact survey it asked for).
+DEGRADED_OUTCOMES: Tuple[str, ...] = ("resumed", "approximate", "shed")
+
+
+@dataclass
+class ServiceCounters:
+    """Mutable lifetime tallies the service updates as it runs."""
+
+    submitted: int = 0
+    answered: int = 0
+    outcomes: Dict[str, int] = field(
+        default_factory=lambda: {outcome: 0 for outcome in OUTCOMES}
+    )
+    #: exact-rung survey attempts retried after a recoverable rank crash
+    retries: int = 0
+    #: rank crashes absorbed (recoverable or not) across exact-rung attempts
+    crash_recoveries: int = 0
+    #: deadlines that expired mid-survey or while queued
+    deadline_expirations: int = 0
+    #: ingest batches applied (== current epoch + 1)
+    epochs_ingested: int = 0
+    #: restarts/replays the resident ledger performed during ingest
+    ledger_restarts: int = 0
+    ledger_replayed_batches: int = 0
+
+    def record_outcome(self, outcome: str) -> None:
+        if outcome not in self.outcomes:
+            raise ValueError(f"unknown outcome {outcome!r}; known: {OUTCOMES}")
+        self.outcomes[outcome] += 1
+        self.answered += 1
+
+    @property
+    def degraded(self) -> int:
+        return sum(self.outcomes[outcome] for outcome in DEGRADED_OUTCOMES)
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Frozen introspection snapshot: counters + point-in-time gauges."""
+
+    # gauges
+    queue_depth: int
+    queue_capacity: int
+    #: newest applied epoch (-1 before the first ingest)
+    epoch: int
+    #: newest epoch minus the oldest epoch still pinned by a queued query
+    epoch_lag: int
+    #: epochs currently retained for in-flight queries
+    pinned_epochs: int
+    ranks: int
+    lost_ranks: Tuple[int, ...]
+    # cache
+    cache_entries: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    # counters
+    submitted: int
+    answered: int
+    outcomes: Dict[str, int]
+    degraded: int
+    retries: int
+    crash_recoveries: int
+    deadline_expirations: int
+    epochs_ingested: int
+    ledger_restarts: int
+    ledger_replayed_batches: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "queue_depth": self.queue_depth,
+            "queue_capacity": self.queue_capacity,
+            "epoch": self.epoch,
+            "epoch_lag": self.epoch_lag,
+            "pinned_epochs": self.pinned_epochs,
+            "ranks": self.ranks,
+            "lost_ranks": list(self.lost_ranks),
+            "cache_entries": self.cache_entries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "submitted": self.submitted,
+            "answered": self.answered,
+            "outcomes": dict(self.outcomes),
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "crash_recoveries": self.crash_recoveries,
+            "deadline_expirations": self.deadline_expirations,
+            "epochs_ingested": self.epochs_ingested,
+            "ledger_restarts": self.ledger_restarts,
+            "ledger_replayed_batches": self.ledger_replayed_batches,
+        }

@@ -45,6 +45,7 @@ from ..core.engine import (
     execute_survey,
     registered_engines,
 )
+from ..core.engine.registry import suggest_name
 from ..core.incremental import StreamingSurvey
 from ..graph.distributed_graph import DistributedGraph
 from ..graph.dodgr import DODGraph
@@ -374,12 +375,18 @@ def run_sweep(
     """
     unknown = [name for name in analyses if name not in ANALYSES]
     if unknown:
-        raise ValueError(f"unknown analyses {unknown!r}; known: {ANALYSES}")
+        raise ValueError(
+            f"unknown analyses {unknown!r}; known: {ANALYSES}"
+            f"{suggest_name(unknown[0], ANALYSES)}"
+        )
     axis = tuple(engines) if engines is not None else sweep_engine_axis()
     known = engine_names()
     missing = [name for name in axis if name not in known]
     if missing:
-        raise ValueError(f"unknown engines {missing!r}; known: {known}")
+        raise ValueError(
+            f"unknown engines {missing!r}; known: {known}"
+            f"{suggest_name(missing[0], known)}"
+        )
     run_axis = axis if ORACLE_ENGINE in axis else (ORACLE_ENGINE,) + axis
     incremental = {
         spec.name for spec in registered_engines() if spec.incremental_style is not None

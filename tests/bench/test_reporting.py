@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bench import (
     format_histogram,
     format_kv,
@@ -10,6 +12,7 @@ from repro.bench import (
     format_table,
     human_bytes,
     human_count,
+    percentiles,
 )
 
 
@@ -75,3 +78,35 @@ class TestOtherFormats:
         assert "showing first 5" in text
         assert "d0.com" in text
         assert "d29.com" not in text
+
+
+class TestPercentiles:
+    def test_empty_input_yields_none_per_key(self):
+        assert percentiles([]) == {"p50": None, "p90": None, "p99": None}
+
+    def test_singleton_yields_that_value_everywhere(self):
+        assert percentiles([7.5]) == {"p50": 7.5, "p90": 7.5, "p99": 7.5}
+
+    def test_linear_interpolation_matches_numpy_convention(self):
+        # rank = (n - 1) * p / 100 over [0..10]: p50 = 5, p90 = 9, p99 = 9.9
+        values = list(range(11))
+        result = percentiles(values)
+        assert result["p50"] == pytest.approx(5.0)
+        assert result["p90"] == pytest.approx(9.0)
+        assert result["p99"] == pytest.approx(9.9)
+
+    def test_order_independent(self):
+        shuffled = [3.0, 1.0, 2.0, 5.0, 4.0]
+        assert percentiles(shuffled) == percentiles(sorted(shuffled))
+
+    def test_extremes_and_fractional_keys(self):
+        result = percentiles([1.0, 2.0, 3.0], ps=(0, 100, 99.9))
+        assert result["p0"] == 1.0
+        assert result["p100"] == 3.0
+        assert "p99.9" in result and result["p99.9"] == pytest.approx(2.998)
+
+    def test_out_of_range_percentile_rejected(self):
+        with pytest.raises(ValueError, match="percentile"):
+            percentiles([1.0], ps=(101,))
+        with pytest.raises(ValueError, match="percentile"):
+            percentiles([1.0], ps=(-1,))

@@ -93,3 +93,33 @@ class TestApproximateCount:
         graph = small_er.to_distributed(world4)
         with pytest.raises(ValueError):
             approximate_triangle_count(graph, algorithm="bogus")
+
+
+class TestErrorBounds:
+    def test_probability_one_has_zero_stderr(self, world4, small_rmat):
+        graph = small_rmat.to_distributed(world4)
+        result = approximate_triangle_count(graph, probability=1.0)
+        assert result.stderr == 0.0
+        low, high = result.confidence_interval()
+        assert low == high == result.estimate
+
+    def test_stderr_grows_as_probability_shrinks(self, small_rmat):
+        stderrs = []
+        for probability in (0.8, 0.5, 0.3):
+            world = World(4)
+            graph = small_rmat.to_distributed(world)
+            result = approximate_triangle_count(
+                graph, probability=probability, seed=3
+            )
+            stderrs.append(result.stderr)
+        assert all(s >= 0 for s in stderrs)
+        assert stderrs[0] < stderrs[-1]
+
+    def test_confidence_interval_brackets_and_clamps(self, world4, small_er):
+        graph = small_er.to_distributed(world4)
+        result = approximate_triangle_count(graph, probability=0.4, seed=1)
+        low, high = result.confidence_interval()
+        assert low <= result.estimate <= high
+        assert low >= 0.0  # clamped: a count can never be negative
+        narrow_low, narrow_high = result.confidence_interval(z=1.0)
+        assert narrow_low >= low and narrow_high <= high

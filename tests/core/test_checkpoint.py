@@ -24,6 +24,7 @@ from repro.core.callbacks import LocalTriangleCounter, TriangleCounter
 from repro.core.engine import (
     CheckpointPolicy,
     CheckpointedStreamingSurvey,
+    StaleCheckpointError,
     engine_names,
     run_survey_with_recovery,
 )
@@ -31,7 +32,7 @@ from repro.core.incremental import StreamingSurvey
 from repro.core.survey import triangle_survey_push
 from repro.graph.dodgr import DODGraph
 from repro.graph.generators import erdos_renyi
-from repro.runtime.faults import FaultPlan, RankCrashError
+from repro.runtime.faults import FaultPlan, RankCrashError, fault_plan_digest
 from repro.runtime.world import World
 
 NRANKS = 4
@@ -327,6 +328,60 @@ class TestStreamingCheckpoint:
             CheckpointedStreamingSurvey(
                 World(NRANKS), TriangleCounter, window_batches=0
             )
+
+
+class TestStaleCheckpointGuard:
+    """Resume must re-validate the armed fault plan against the checkpoint's."""
+
+    def test_digest_is_stable_and_discriminating(self):
+        assert fault_plan_digest(None) is None
+        twin = FaultPlan(**{
+            field: getattr(STREAM_CRASH, field)
+            for field in ("name", "seed", "crash_rank", "crash_phase",
+                          "crash_after_executions")
+        })
+        assert fault_plan_digest(twin) == fault_plan_digest(STREAM_CRASH)
+        other = FaultPlan(name="stream-crash", seed=4, crash_rank=1,
+                          crash_phase="delta_push", crash_after_executions=1)
+        assert fault_plan_digest(other) != fault_plan_digest(STREAM_CRASH)
+
+    def test_resume_under_a_different_plan_is_rejected(self):
+        """A checkpoint taken under plan A must not silently replay under B."""
+        batches = edge_batches()
+        world = World(NRANKS)
+        plan_a = FaultPlan(name="benign", seed=1, drop_rate=0.01)
+        survey = CheckpointedStreamingSurvey(
+            world,
+            TriangleCounter,
+            plan=plan_a,
+            policy=CheckpointPolicy(checkpoint_interval=1),
+        )
+        survey.ingest(batches[0])  # checkpoint stamped with plan A's digest
+        world.clear_fault_plan()
+        world.install_fault_plan(STREAM_CRASH)  # crashes the next batch
+        with pytest.raises(StaleCheckpointError, match="stale checkpoint"):
+            survey.ingest(batches[1])
+
+    def test_error_carries_both_digests(self):
+        error = StaleCheckpointError("aaaa", "bbbb")
+        assert error.checkpoint_digest == "aaaa"
+        assert error.armed_digest == "bbbb"
+        assert "re-arm the original plan" in str(error)
+
+    def test_resume_under_the_same_plan_still_works(self):
+        """The guard keys on plan *contents*: an equal copy passes."""
+        batches = edge_batches()
+        world = World(NRANKS)
+        survey = CheckpointedStreamingSurvey(
+            world,
+            TriangleCounter,
+            plan=STREAM_CRASH,
+            policy=CheckpointPolicy(checkpoint_interval=1),
+        )
+        steps = [survey.ingest(batch) for batch in batches]
+        assert sum(step.restarts for step in steps) == 1
+        plain = plain_stream(batches)
+        assert steps[-1].cumulative == plain[-1].cumulative
 
 
 class TestSurvivorEstimate:

@@ -47,6 +47,34 @@ class TestRegistry:
         with pytest.raises(ValueError, match="unknown survey engine"):
             resolve_engine("bogus")
 
+    def test_unknown_engine_error_lists_names_and_suggests(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_engine("colunmar")
+        message = str(excinfo.value)
+        for name in engine_names():
+            assert name in message
+        assert "did you mean 'columnar'?" in message
+
+    def test_unknown_incremental_engine_suggests(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_incremental_engine("legcay")
+        assert "did you mean 'legacy'?" in str(excinfo.value)
+
+    def test_no_suggestion_for_genuinely_foreign_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_engine("warp-drive-9000")
+        assert "did you mean" not in str(excinfo.value)
+
+    def test_suggest_name_helper(self):
+        known = ("legacy", "batched", "columnar")
+        assert (
+            registry_module.suggest_name("colummar", known)
+            == "; did you mean 'columnar'?"
+        )
+        assert registry_module.suggest_name("zzzz", known) == ""
+        # Non-string inputs are coerced, never raise.
+        assert registry_module.suggest_name(None, known) == ""
+
     def test_unregistered_spec_rejected(self):
         foreign = EngineSpec(name="legacy", description="an impostor spec")
         with pytest.raises(ValueError, match="not the registered spec"):

@@ -1,0 +1,150 @@
+"""Unit coverage for the service's admission control and panel cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    CostModel,
+)
+from repro.service.cache import CacheEntry, PanelCache
+
+
+class TestCostModel:
+    def test_no_history_returns_none(self):
+        model = CostModel()
+        assert model.estimate_seconds("triangle", "push", 1000) is None
+        assert model.mean_service_seconds is None
+
+    def test_estimate_scales_with_edge_count(self):
+        model = CostModel()
+        model.observe("triangle", "push", directed_edges=100, seconds=1.0)
+        assert model.estimate_seconds("triangle", "push", 100) == pytest.approx(1.0)
+        assert model.estimate_seconds("triangle", "push", 200) == pytest.approx(2.0)
+
+    def test_ewma_converges_toward_new_rate(self):
+        model = CostModel(smoothing=0.5)
+        model.observe("triangle", "push", directed_edges=100, seconds=1.0)
+        model.observe("triangle", "push", directed_edges=100, seconds=3.0)
+        # 0.01 + 0.5 * (0.03 - 0.01) = 0.02 s/edge
+        assert model.estimate_seconds("triangle", "push", 100) == pytest.approx(2.0)
+        assert model.observations == 2
+
+    def test_falls_back_to_same_analysis_then_global(self):
+        model = CostModel()
+        model.observe("triangle", "push", directed_edges=100, seconds=1.0)
+        # Unknown engine, known analysis: same-analysis mean.
+        assert model.estimate_seconds("triangle", "pull", 100) == pytest.approx(1.0)
+        # Unknown analysis entirely: global mean.
+        assert model.estimate_seconds("closure", "push", 100) == pytest.approx(1.0)
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ValueError, match="smoothing"):
+            CostModel(smoothing=0.0)
+        with pytest.raises(ValueError, match="smoothing"):
+            CostModel(smoothing=1.5)
+
+    def test_as_dict_is_json_shaped(self):
+        model = CostModel()
+        model.observe("triangle", "push", directed_edges=10, seconds=0.5)
+        snapshot = model.as_dict()
+        assert snapshot["observations"] == 1
+        assert "triangle/push" in snapshot["per_edge"]
+
+
+class TestAdmissionController:
+    def test_admits_below_bound(self):
+        controller = AdmissionController(max_queue_depth=2)
+        decision = controller.admit(queue_depth=1)
+        assert decision == AdmissionDecision(admitted=True)
+        assert controller.shed == 0
+
+    def test_sheds_at_bound_with_reason_and_hint(self):
+        controller = AdmissionController(max_queue_depth=2)
+        decision = controller.admit(queue_depth=2)
+        assert not decision.admitted
+        assert decision.retry_after_s > 0
+        assert "saturated" in decision.reason
+        assert controller.shed == 1
+
+    def test_retry_after_tracks_backlog_drain_time(self):
+        model = CostModel()
+        model.observe("triangle", "push", directed_edges=100, seconds=0.5)
+        controller = AdmissionController(max_queue_depth=4, cost_model=model)
+        # (depth + 1) * mean service seconds
+        assert controller.retry_after(queue_depth=3) == pytest.approx(2.0)
+
+    def test_retry_after_floor_without_history(self):
+        controller = AdmissionController(max_queue_depth=4)
+        assert controller.retry_after(queue_depth=100) == pytest.approx(0.01)
+
+    def test_rejects_degenerate_bound(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            AdmissionController(max_queue_depth=0)
+
+
+class TestPanelCache:
+    def test_round_trip_and_hit_accounting(self):
+        cache = PanelCache(capacity=4)
+        key = PanelCache.key("triangle", "push", 0, None)
+        assert cache.get(key) is None
+        cache.put(key, CacheEntry(panel={1: 2}, engine="push"))
+        entry = cache.get(key)
+        assert entry is not None and entry.panel == {1: 2}
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = PanelCache(capacity=2)
+        a = PanelCache.key("triangle", "push", 0, None)
+        b = PanelCache.key("closure", "push", 0, None)
+        c = PanelCache.key("labels", "push", 0, None)
+        cache.put(a, CacheEntry(panel="a"))
+        cache.put(b, CacheEntry(panel="b"))
+        cache.get(a)  # refresh a: b is now LRU
+        cache.put(c, CacheEntry(panel="c"))
+        assert a in cache and c in cache and b not in cache
+        assert cache.evictions == 1
+
+    def test_equivalence_index_serves_other_engines(self):
+        """An exact panel under one engine answers any engine's query."""
+        cache = PanelCache(capacity=8)
+        cache.put(
+            PanelCache.key("triangle", "push", 3, None),
+            CacheEntry(panel={0: 7}, engine="push", exact=True),
+        )
+        entry = cache.get_equivalent("triangle", 3, None)
+        assert entry is not None and entry.panel == {0: 7}
+        assert cache.equivalent_hits == 1
+        # Equivalent lookups never pollute the direct hit/miss accounting.
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_approximate_entries_never_enter_the_equivalence_index(self):
+        cache = PanelCache(capacity=8)
+        cache.put(
+            PanelCache.key("triangle", "~approximate", 3, None),
+            CacheEntry(estimate="est", engine="~approximate", exact=False),
+        )
+        assert cache.get_equivalent("triangle", 3, None) is None
+
+    def test_equivalence_index_heals_after_eviction(self):
+        cache = PanelCache(capacity=1)
+        exact = PanelCache.key("triangle", "push", 0, None)
+        cache.put(exact, CacheEntry(panel={0: 1}, exact=True))
+        cache.put(
+            PanelCache.key("closure", "push", 0, None), CacheEntry(panel={})
+        )  # evicts the exact entry; stale index pointer remains
+        assert cache.get_equivalent("triangle", 0, None) is None
+        # The dangling pointer was cleaned up on that miss.
+        assert cache.get_equivalent("triangle", 0, None) is None
+
+    def test_epoch_is_part_of_the_key(self):
+        cache = PanelCache(capacity=8)
+        cache.put(PanelCache.key("triangle", "push", 0, None), CacheEntry(panel="old"))
+        assert cache.get(PanelCache.key("triangle", "push", 1, None)) is None
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PanelCache(capacity=0)

@@ -1,0 +1,123 @@
+"""Deadline semantics: monotonic budgets, world hooks, survey abort."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.callbacks import LocalTriangleCounter
+from repro.core.engine import SurveyRequest, execute_survey
+from repro.graph.dodgr import DODGraph
+from repro.runtime import World
+from repro.service.deadline import Deadline, DeadlineExceeded
+
+
+class FakeClock:
+    """Injectable monotonic clock: tests expire deadlines without sleeping."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_deadline_counts_down_on_the_injected_clock():
+    clock = FakeClock()
+    deadline = Deadline.after(10.0, clock=clock)
+    assert deadline.remaining() == pytest.approx(10.0)
+    assert not deadline.expired()
+    clock.advance(4.0)
+    assert deadline.remaining() == pytest.approx(6.0)
+    deadline.check()  # no raise while budget remains
+    clock.advance(6.0)
+    assert deadline.expired()
+    assert deadline.remaining() == 0.0
+    with pytest.raises(DeadlineExceeded) as excinfo:
+        deadline.check()
+    assert excinfo.value.deadline is deadline
+
+
+def test_deadline_rejects_negative_budget():
+    with pytest.raises(ValueError, match="budget"):
+        Deadline(-1.0)
+
+
+def test_zero_budget_is_born_expired():
+    deadline = Deadline.after(0.0, clock=FakeClock())
+    assert deadline.expired()
+
+
+def test_world_check_deadline_is_dormant_by_default(world4):
+    world4.check_deadline()  # no deadline installed: no-op
+    world4.barrier()
+
+
+def test_deadline_scope_installs_and_restores(world4):
+    clock = FakeClock()
+    outer = Deadline.after(100.0, clock=clock)
+    inner = Deadline.after(1.0, clock=clock)
+    world4.install_deadline(outer)
+    with world4.deadline_scope(inner):
+        clock.advance(2.0)  # inner expired, outer fine
+        with pytest.raises(DeadlineExceeded):
+            world4.check_deadline()
+    world4.check_deadline()  # outer restored and still has budget
+    world4.clear_deadline()
+    clock.advance(1000.0)
+    world4.check_deadline()  # cleared: dormant again
+
+
+def test_expired_deadline_aborts_a_survey_at_a_checkpoint(small_er):
+    """An installed expired deadline stops the engine drivers cooperatively."""
+    world = World(4)
+    dodgr = DODGraph.build(small_er.to_distributed(world), mode="bulk")
+    reducer = LocalTriangleCounter(world)
+    clock = FakeClock()
+    deadline = Deadline.after(5.0, clock=clock)
+    clock.advance(10.0)
+    request = SurveyRequest(dodgr=dodgr, callback=reducer.callback)
+    with world.deadline_scope(deadline):
+        with pytest.raises(DeadlineExceeded):
+            execute_survey(request)
+    # The abort left no deadline armed and the world recoverable.
+    world.recover_from_crash()
+    world.clear_deadline()
+    fresh = LocalTriangleCounter(world)
+    execute_survey(SurveyRequest(dodgr=dodgr, callback=fresh.callback))
+    fresh.finalize()
+    assert sum(fresh.snapshot().values()) > 0
+
+
+def test_mid_survey_expiry_aborts_inside_the_barrier(small_er):
+    """A deadline expiring *during* delivery aborts at the next sweep."""
+    world = World(4)
+    dodgr = DODGraph.build(small_er.to_distributed(world), mode="bulk")
+    reducer = LocalTriangleCounter(world)
+
+    class ExpireAfterChecks:
+        """Duck-typed deadline that trips after N cooperative checks."""
+
+        def __init__(self, checks: int) -> None:
+            self.checks = checks
+            self.seen = 0
+
+        def check(self) -> None:
+            self.seen += 1
+            if self.seen > self.checks:
+                raise DeadlineExceeded(Deadline.after(0.0))
+
+    tripwire = ExpireAfterChecks(checks=3)
+    request = SurveyRequest(dodgr=dodgr, callback=reducer.callback)
+    with world.deadline_scope(tripwire):
+        with pytest.raises(DeadlineExceeded):
+            execute_survey(request)
+    assert tripwire.seen > 3
+    # recover_from_crash clears the half-delivered state for reuse.
+    world.recover_from_crash()
+    fresh = LocalTriangleCounter(world)
+    execute_survey(SurveyRequest(dodgr=dodgr, callback=fresh.callback))
+    fresh.finalize()
+    assert sum(fresh.snapshot().values()) > 0

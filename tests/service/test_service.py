@@ -1,0 +1,301 @@
+"""Behavioural coverage for the resident :class:`SurveyService`.
+
+Exercises the full robustness contract on small deterministic workloads:
+snapshot isolation under concurrent ingest, the degradation ladder
+(cache → exact → ledger → estimate), admission control, crash retries,
+permanent-loss degraded mode, and the introspection surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.traffic import make_service_workload
+from repro.core.engine import SurveyRequest, execute_survey
+from repro.graph.delta import DeltaBuffer
+from repro.graph.distributed_graph import DistributedGraph
+from repro.runtime.faults import FaultPlan
+from repro.runtime.world import World
+from repro.service import (
+    ANALYSES,
+    ServiceError,
+    ServicePolicy,
+    SurveyQuery,
+    SurveyService,
+    get_analysis,
+)
+
+RANKS = 4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Three small ingest batches plus vertex labels (module cached)."""
+    return make_service_workload(scale=5, num_batches=3, seed=0)
+
+
+def make_service(workload, policy=None, ingest=None, **kwargs):
+    """A fresh service over a fresh world, with ``ingest`` batches applied."""
+    batches, vertex_meta = workload
+    service = SurveyService(World(RANKS), policy=policy, **kwargs)
+    count = len(batches) if ingest is None else ingest
+    for index, batch in enumerate(batches[:count]):
+        service.ingest(batch, vertex_meta if index == 0 else None)
+    return service
+
+
+def reference_panel(workload, analysis, upto_batches, engine=None):
+    """A direct survey over the first ``upto_batches`` batches, no service."""
+    batches, vertex_meta = workload
+    world = World(RANKS)
+    graph = DistributedGraph(world, name="reference")
+    delta = DeltaBuffer(world)
+    dodgr = None
+    for index, batch in enumerate(batches[:upto_batches]):
+        delta.stage_edges(batch)
+        if index == 0:
+            for vertex, meta in vertex_meta.items():
+                delta.stage_vertex_meta(vertex, meta)
+        dodgr = delta.apply(graph).dodgr
+    reducer = ANALYSES[analysis].reducer_factory(world)
+    execute_survey(
+        SurveyRequest(dodgr=dodgr, callback=reducer.callback), engine=engine
+    )
+    if hasattr(reducer, "finalize"):
+        reducer.finalize()
+    return reducer.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# Exactness + snapshot isolation
+# ---------------------------------------------------------------------------
+
+
+def test_query_is_exact_and_matches_a_direct_survey(workload):
+    service = make_service(workload, ingest=1)
+    answer = service.query("triangle")
+    assert answer.outcome == "exact"
+    assert answer.exact and answer.epoch == 0 == answer.answered_epoch
+    assert answer.panel == reference_panel(workload, "triangle", upto_batches=1)
+    service.close()
+
+
+def test_snapshot_isolation_pins_the_submit_epoch(workload):
+    """Batches landing between submit and pump must not leak into answers."""
+    batches, _ = workload
+    service = make_service(workload, ingest=1)
+    tickets = [service.submit(analysis=name) for name in ANALYSES]
+    for batch in batches[1:]:
+        service.ingest(batch)
+    assert service.stats().epoch_lag == len(batches) - 1
+    service.pump()
+    for ticket in tickets:
+        answer = ticket.answer
+        assert answer is not None and answer.outcome == "exact"
+        assert answer.epoch == 0 == answer.answered_epoch
+        expected = reference_panel(workload, ticket.query.analysis, upto_batches=1)
+        assert answer.panel == expected, ticket.query.analysis
+    # All superseded epochs were released once their pins dropped.
+    assert service.stats().pinned_epochs == 1
+    service.close()
+
+
+def test_cross_engine_cache_serving(workload):
+    """An exact panel cached under one engine answers another engine's query."""
+    service = make_service(workload, ingest=1)
+    first = service.query("triangle")
+    second = service.query("triangle", engine="legacy")
+    assert first.outcome == "exact"
+    assert second.outcome == "cached"
+    assert second.panel == first.panel
+    assert service.cache.equivalent_hits >= 1 or second.engine == first.engine
+    service.close()
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+
+def test_saturated_queue_sheds_with_retry_after(workload):
+    service = make_service(
+        workload, ingest=1, policy=ServicePolicy(max_queue_depth=2)
+    )
+    service.submit(analysis="triangle")
+    service.submit(analysis="closure")
+    shed = service.submit(analysis="labels")
+    assert shed.done
+    assert shed.answer.outcome == "shed"
+    assert shed.answer.retry_after_s is not None and shed.answer.retry_after_s > 0
+    assert "admission:shed" in shed.answer.degradation_path
+    health = service.health()
+    assert health["saturated"] and not health["ready"] and health["live"]
+    service.pump()
+    assert service.health()["ready"]
+    service.close()
+
+
+def test_saturated_submit_still_served_from_cache(workload):
+    """A cache hit costs nothing, so saturation never sheds it."""
+    service = make_service(
+        workload, ingest=1, policy=ServicePolicy(max_queue_depth=2)
+    )
+    warm = service.query("triangle")
+    service.submit(analysis="closure")
+    service.submit(analysis="labels")
+    hit = service.submit(analysis="triangle")
+    assert hit.done and hit.answer.outcome == "cached"
+    assert hit.answer.panel == warm.panel
+    assert "admission:saturated" in hit.answer.degradation_path
+    service.close()
+
+
+# ---------------------------------------------------------------------------
+# The degradation ladder
+# ---------------------------------------------------------------------------
+
+
+def test_tight_deadline_degrades_to_ledger_panel(workload):
+    """An already-expired deadline skips the exact rung but stays exact."""
+    service = make_service(workload)
+    answer = service.query("triangle", timeout_s=1e-9)
+    assert answer.outcome == "resumed"
+    assert answer.engine == "ledger"
+    assert answer.exact
+    assert "exact:skipped-deadline" in answer.degradation_path
+    assert answer.panel == reference_panel(workload, "triangle", upto_batches=3)
+    assert service.stats().deadline_expirations >= 1
+    service.close()
+
+
+def test_recoverable_crash_is_retried_to_an_exact_answer(workload):
+    service = make_service(workload, ingest=1)
+    service.world.install_fault_plan(
+        FaultPlan(
+            seed=1,
+            crash_rank=1,
+            crash_after_executions=5,
+            crash_recoverable=True,
+        )
+    )
+    answer = service.query("triangle")
+    assert answer.outcome == "exact"
+    assert answer.retries == 1
+    assert any(step.startswith("exact:retry") for step in answer.degradation_path)
+    assert answer.panel == reference_panel(workload, "triangle", upto_batches=1)
+    stats = service.stats()
+    assert stats.crash_recoveries == 1 and stats.retries == 1
+    assert service.health()["ready"]
+    service.world.clear_fault_plan()
+    service.close()
+
+
+def test_permanent_loss_degrades_to_survivor_estimate(workload):
+    """Unrecoverable crash + trimmed ledger panels: the estimator answers."""
+    batches, vertex_meta = workload
+    service = SurveyService(
+        World(RANKS), policy=ServicePolicy(panel_retention=1)
+    )
+    service.ingest(batches[0], vertex_meta)
+    pinned = service.submit(analysis="triangle")
+    for batch in batches[1:]:
+        service.ingest(batch)  # retention=1 trims epoch 0's ledger panels
+    service.world.install_fault_plan(
+        FaultPlan(
+            seed=1,
+            crash_rank=1,
+            crash_after_executions=5,
+            crash_recoverable=False,
+        )
+    )
+    service.pump()
+    answer = pinned.answer
+    assert answer is not None and answer.outcome == "approximate"
+    assert not answer.exact
+    assert answer.estimate is not None
+    assert answer.stderr is not None and answer.stderr >= 0
+    low, high = answer.confidence_interval()
+    assert low <= answer.estimate.estimate <= high
+    assert any("survivor" in step for step in answer.degradation_path)
+    health = service.health()
+    assert health["degraded_mode"] and not health["ready"] and health["live"]
+    assert service.stats().lost_ranks == (1,)
+    # Later queries skip the doomed exact rung and serve the live ledger.
+    later = service.query("triangle")
+    assert later.outcome == "resumed"
+    assert "exact:skipped-lost-ranks" in later.degradation_path
+    service.world.clear_fault_plan()
+    service.close()
+
+
+def test_window_queries_merge_ledger_panels(workload):
+    batches, _ = workload
+    service = make_service(workload, ingest=2)
+    step = service.ingest(batches[2])
+    last_batch = service.query("triangle", window=1)
+    assert last_batch.outcome == "resumed" and last_batch.engine == "ledger"
+    assert last_batch.panel == step.snapshot["triangle"]
+    everything = service.query("triangle", window=3)
+    assert everything.panel == reference_panel(workload, "triangle", upto_batches=3)
+    # Window answers are cached under their window key.
+    again = service.query("triangle", window=1)
+    assert again.outcome == "cached" and again.panel == last_batch.panel
+    service.close()
+
+
+# ---------------------------------------------------------------------------
+# API misuse + introspection
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_analysis_suggests_the_closest_name(workload):
+    service = make_service(workload, ingest=1)
+    with pytest.raises(ValueError, match="did you mean 'triangle'"):
+        service.submit(analysis="triangel")
+    with pytest.raises(ValueError, match="did you mean 'closure'"):
+        get_analysis("closur")
+    service.close()
+
+
+def test_submit_before_first_ingest_is_an_error(workload):
+    service = SurveyService(World(RANKS))
+    with pytest.raises(ServiceError, match="no data ingested"):
+        service.submit(analysis="triangle")
+
+
+def test_query_validation():
+    with pytest.raises(ValueError, match="window"):
+        SurveyQuery(analysis="triangle", window=0)
+    with pytest.raises(ValueError, match="timeout_s"):
+        SurveyQuery(analysis="triangle", timeout_s=-1.0)
+    with pytest.raises(ValueError, match="max_queue_depth"):
+        ServicePolicy(max_queue_depth=0)
+
+
+def test_stats_taxonomy_partitions_traffic(workload):
+    service = make_service(workload)
+    service.query("triangle")
+    service.query("triangle")  # cached
+    service.query("closure", timeout_s=1e-9)  # resumed
+    stats = service.stats()
+    assert stats.answered == sum(stats.outcomes.values())
+    assert stats.outcomes["exact"] == 1
+    assert stats.outcomes["cached"] == 1
+    assert stats.outcomes["resumed"] == 1
+    assert stats.degraded == 1
+    assert stats.epochs_ingested == 3 and stats.epoch == 2
+    snapshot = stats.as_dict()
+    assert snapshot["queue_depth"] == 0
+    assert snapshot["outcomes"] == stats.outcomes
+    service.close()
+
+
+def test_close_sheds_the_queue_and_releases_epochs(workload):
+    service = make_service(workload, ingest=1)
+    tickets = [service.submit(analysis=name) for name in ("triangle", "closure")]
+    service.close()
+    for ticket in tickets:
+        assert ticket.done
+        assert ticket.answer.outcome == "shed"
+        assert ticket.answer.degradation_path == ("service:closed",)
+    assert service.stats().pinned_epochs == 0

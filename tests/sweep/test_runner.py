@@ -79,9 +79,22 @@ class TestValidation:
         with pytest.raises(ValueError, match="unknown analyses"):
             run_sweep([], analyses=("nope",))
 
+    def test_unknown_analysis_suggests_closest_name(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_sweep([], analyses=("triangel",))
+        message = str(excinfo.value)
+        assert "did you mean 'triangle'?" in message
+        for name in ANALYSES:
+            assert name in message
+
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engines"):
             run_sweep([], engines=("warp-drive",))
+
+    def test_unknown_engine_suggests_closest_name(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_sweep([], engines=("colunmar",))
+        assert "did you mean 'columnar'?" in str(excinfo.value)
 
     def test_analyses_constant_is_complete(self):
         assert set(ANALYSES) == {"triangle", "closure", "labels", "streaming"}
