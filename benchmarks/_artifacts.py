@@ -38,13 +38,27 @@ def json_artifact_path() -> Path:
 
 
 def reset_artifacts() -> None:
-    """Truncate the artifact files at the start of a benchmark session."""
+    """Start a benchmark session's artifact files.
+
+    The text file is truncated: it is a linear session log.  The JSON file
+    is *preserved* (repaired to ``{}`` only when missing or corrupt): its
+    entries are keyed by benchmark name — backend-tagged where a benchmark
+    runs per backend — so multi-session CI jobs (e.g. a simulated run
+    followed by ``--backend process``) merge their keys into one artifact
+    instead of the second session clobbering the first.
+    """
     path = artifact_path()
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text("")
     json_path = json_artifact_path()
     json_path.parent.mkdir(parents=True, exist_ok=True)
-    json_path.write_text("{}\n")
+    try:
+        existing = json.loads(json_path.read_text() or "{}")
+        if not isinstance(existing, dict):
+            existing = {}
+    except (FileNotFoundError, json.JSONDecodeError):
+        existing = {}
+    json_path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
 
 
 def emit(text: str) -> None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import pytest
 
 from _artifacts import reset_artifacts
-from repro.core.engine import engine_names
+from repro.core.engine import backend_names, engine_names
 
 
 def pytest_addoption(parser):
@@ -33,12 +33,30 @@ def pytest_addoption(parser):
             "regenerated on any of them."
         ),
     )
+    parser.addoption(
+        "--backend",
+        action="store",
+        default="simulated",
+        choices=backend_names(),
+        help=(
+            "Execution backend the scaling benchmarks run on (default: "
+            "simulated); choices come from the backend axis "
+            "(repro.core.engine.backend_names).  Backends reproduce "
+            "identical result columns, differing only in host wall-clock."
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
 def survey_engine(request):
     """Engine selected with ``--engine`` (any registered engine name)."""
     return request.config.getoption("--engine")
+
+
+@pytest.fixture(scope="session")
+def survey_backend(request):
+    """Backend selected with ``--backend`` (``simulated`` or ``process``)."""
+    return request.config.getoption("--backend")
 
 
 @pytest.fixture(scope="session", autouse=True)

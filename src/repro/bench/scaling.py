@@ -96,6 +96,8 @@ def run_survey_at_scale(
     callback_factory: Optional[CallbackFactory] = None,
     decorate: Optional[Callable[[DistributedGraph], DistributedGraph]] = None,
     engine: Optional[EngineSelector] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> ScalingPoint:
     """Distribute ``dataset`` over ``nodes`` ranks and run one survey.
 
@@ -103,7 +105,10 @@ def run_survey_at_scale(
     name (``legacy`` — the default, ``batched``, ``columnar``,
     ``columnar-pull``) or an :class:`~repro.core.engine.EngineConfig`;
     every engine produces identical reports, so the paper figures can be
-    regenerated on any of them.
+    regenerated on any of them.  ``backend`` picks the execution backend
+    the same way (``simulated`` — the default, or ``process`` with
+    ``workers`` forked rank-shard workers); backends, too, produce
+    identical reports, differing only in host wall-clock.
     """
     world = World(nodes)
     graph = dataset.to_distributed(world)
@@ -124,11 +129,13 @@ def run_survey_at_scale(
     host_start = time.perf_counter()
     if algorithm == "push":
         report = triangle_survey_push(
-            dodgr, callback, graph_name=dataset.name, engine=engine
+            dodgr, callback, graph_name=dataset.name, engine=engine,
+            backend=backend, workers=workers,
         )
     elif algorithm == "push_pull":
         report = triangle_survey_push_pull(
-            dodgr, callback, graph_name=dataset.name, engine=engine
+            dodgr, callback, graph_name=dataset.name, engine=engine,
+            backend=backend, workers=workers,
         )
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
@@ -145,6 +152,8 @@ def strong_scaling(
     callback_factory: Optional[CallbackFactory] = None,
     decorate: Optional[Callable[[DistributedGraph], DistributedGraph]] = None,
     engine: Optional[EngineSelector] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> ScalingResult:
     """Fixed dataset, growing node counts (Figs. 4 and 7, Tables 3 and 4)."""
     result = ScalingResult(dataset=dataset.name, algorithm=algorithm)
@@ -157,6 +166,8 @@ def strong_scaling(
                 callback_factory=callback_factory,
                 decorate=decorate,
                 engine=engine,
+                backend=backend,
+                workers=workers,
             )
         )
     return result
@@ -171,6 +182,8 @@ def weak_scaling_rmat(
     decorate: Optional[Callable[[DistributedGraph], DistributedGraph]] = None,
     seed: int = 99,
     engine: Optional[EngineSelector] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> ScalingResult:
     """R-MAT weak scaling: one R-MAT scale step per node-count doubling (Figs. 5/9).
 
@@ -190,6 +203,8 @@ def weak_scaling_rmat(
                 callback_factory=callback_factory,
                 decorate=decorate,
                 engine=engine,
+                backend=backend,
+                workers=workers,
             )
         )
     return result

@@ -112,6 +112,18 @@ class _SnapshotMerge:
         """Sum panel snapshots produced by :meth:`snapshot`."""
         return merge_count_dicts(snapshots)
 
+    # -- worker-state protocol (process backend) ---------------------------
+    # Counting-set reducers keep all per-rank state in ``container:`` slots
+    # of ``ctx.local_state``, which the process backend ships home wholesale;
+    # there is nothing extra to transfer.
+    def worker_rank_state(self, rank: int) -> None:
+        """Per-rank reducer state to ship from a worker (none: slots cover it)."""
+        return None
+
+    def absorb_rank_state(self, rank: int, state: Any) -> None:
+        """Absorb a worker's shipped per-rank state (none to absorb)."""
+        return None
+
 
 def log2_bucket(value: float) -> int:
     """``ceil(log2(value))`` with the conventions the paper's callbacks need.
@@ -167,6 +179,18 @@ class TriangleCounter:
     def merge(cls, snapshots) -> int:
         """Sum panel counts produced by :meth:`snapshot`."""
         return sum(snapshots)
+
+    # -- worker-state protocol (process backend) ---------------------------
+    # Unlike the counting-set reducers this one holds its state on the
+    # reducer object itself, so each worker ships its owned ranks' counters
+    # home explicitly.
+    def worker_rank_state(self, rank: int) -> int:
+        """This rank's local counter, shipped from the owning worker."""
+        return self._per_rank[rank]
+
+    def absorb_rank_state(self, rank: int, state: int) -> None:
+        """Adopt a worker's counter for ``rank`` (replaces, never sums)."""
+        self._per_rank[rank] = state
 
 
 class LocalTriangleCounter(_SnapshotMerge):

@@ -48,11 +48,14 @@ totals), and the cross-engine property suite
 from __future__ import annotations
 
 from .registry import (
+    BACKENDS,
     EngineSpec,
+    backend_names,
     engine_names,
     incremental_engine_names,
     register_engine,
     registered_engines,
+    resolve_backend,
     resolve_engine,
     resolve_incremental_engine,
 )
@@ -68,11 +71,13 @@ from .request import (
     SurveyResult,
     TriangleCallback,
     default_engine,
+    split_backend_selector,
     split_engine_selector,
 )
 from .driver import resolve_batch_callback
-from .push import run_push_survey
-from .push_pull import run_push_pull_survey
+from .program import SurveyProgram, execute_program
+from .push import build_push_program, run_push_survey
+from .push_pull import build_push_pull_program, run_push_pull_survey
 
 __all__ = [
     "EngineSpec",
@@ -80,17 +85,25 @@ __all__ = [
     "EngineSelector",
     "SurveyRequest",
     "SurveyResult",
+    "SurveyProgram",
     "TriangleCallback",
+    "BACKENDS",
     "register_engine",
     "resolve_engine",
     "resolve_incremental_engine",
+    "resolve_backend",
     "registered_engines",
     "engine_names",
     "incremental_engine_names",
+    "backend_names",
     "split_engine_selector",
+    "split_backend_selector",
     "default_engine",
     "resolve_batch_callback",
+    "execute_program",
+    "build_push_program",
     "run_push_survey",
+    "build_push_pull_program",
     "run_push_pull_survey",
     "execute_survey",
     "DEFAULT_CALLBACK_COMPUTE_UNITS",

@@ -1,59 +1,59 @@
-"""Push-Only survey runner: one driver loop, every engine.
+"""Push-Only survey runner: one driver loop, every engine, every backend.
 
 This is Algorithm 1 of the paper expressed over the engine layer: register
 the engine's intersect handler, walk every rank's pivots at the engine's
 granularity (:func:`~repro.core.engine.driver.drive_push`), barrier, report.
 The three near-copies of this loop that used to live in ``core/survey.py``
-collapse to the one function below.
+collapse to the one program below; the loop itself now lives in
+:mod:`~repro.core.engine.program`, where the simulated and process backends
+share it.
 """
 
 from __future__ import annotations
 
-import time
-
-from ..results import SurveyReport
 from .driver import drive_push, make_push_intersect_handler
+from .program import SurveyProgram, execute_program
 from .registry import EngineSpec
 from .request import SurveyRequest, SurveyResult
 
-__all__ = ["run_push_survey"]
+__all__ = ["build_push_program", "run_push_survey"]
+
+
+def build_push_program(request: SurveyRequest, spec: EngineSpec) -> SurveyProgram:
+    """Compile the Push-Only survey to a single-phase :class:`SurveyProgram`.
+
+    Handler registration happens here — before any backend runs (and, for
+    the process backend, before it forks), so handler ids and the serialized
+    size of every message are identical everywhere.
+    """
+    dodgr = request.dodgr
+    world = dodgr.world
+    handler = world.register_handler(
+        make_push_intersect_handler(
+            spec.push_style,
+            dodgr,
+            request.kernel,
+            request.callback,
+            request.per_triangle_compute(),
+        )
+    )
+
+    # Driver phase: every rank walks its local pivots and pushes suffixes —
+    # one coalesced RPC per destination rank (columnar) or (destination, q)
+    # group (batched), one RPC per wedge otherwise.
+    def drive(ctx) -> None:
+        drive_push(spec.push_style, ctx, dodgr, handler)
+
+    return SurveyProgram(
+        algorithm="push",
+        request=request,
+        spec=spec,
+        phases=[(request.phase_name, drive)],
+    )
 
 
 def run_push_survey(request: SurveyRequest, spec: EngineSpec) -> SurveyResult:
     """Run the Push-Only triangle survey described by ``request`` on ``spec``."""
-    dodgr = request.dodgr
-    world = dodgr.world
-    callback = request.callback
-    per_triangle_compute = request.per_triangle_compute()
     if request.reset_stats:
-        world.reset_stats()
-
-    handler = world.register_handler(
-        make_push_intersect_handler(
-            spec.push_style, dodgr, request.kernel, callback, per_triangle_compute
-        )
-    )
-
-    # Driver loop: every rank walks its local pivots and pushes suffixes —
-    # one coalesced RPC per destination rank (columnar) or (destination, q)
-    # group (batched), one RPC per wedge otherwise.
-    host_start = time.perf_counter()
-    world.begin_phase(request.phase_name)
-    for ctx in world.ranks:
-        # Cooperative cancellation checkpoint: a service-installed deadline
-        # aborts between per-rank batches instead of mid-RPC.
-        world.check_deadline()
-        drive_push(spec.push_style, ctx, dodgr, handler)
-    world.barrier()
-    host_seconds = time.perf_counter() - host_start
-
-    simulated = world.simulated_time(phases=[request.phase_name])
-    report = SurveyReport.from_world_stats(
-        algorithm="push",
-        graph_name=request.graph_name or dodgr.name,
-        world_stats=world.stats,
-        simulated=simulated,
-        phases=[request.phase_name],
-        host_seconds=host_seconds,
-    )
-    return SurveyResult(report=report, engine=spec.name, request=request)
+        request.dodgr.world.reset_stats()
+    return execute_program(build_push_program(request, spec))

@@ -1,6 +1,6 @@
 """Push-Pull survey runner: dry run, push and pull phases over the engine layer.
 
-Section 4.4 of the paper as one driver, parameterised by an
+Section 4.4 of the paper as one program, parameterised by an
 :class:`~repro.core.engine.registry.EngineSpec`:
 
 1. **Dry run** — every rank counts, per target vertex ``q``, the candidate
@@ -15,16 +15,18 @@ Section 4.4 of the paper as one driver, parameterised by an
 
 Handler registration order is identical for every engine so that handler
 ids — and therefore the serialized size of every dry-run message and the
-accounted size of every push/pull message — match the legacy run.
+accounted size of every push/pull message — match the legacy run.  The
+per-rank driver state (pivot maps, push-target sets, pull lists) is indexed
+by rank and only ever touched from that rank's drive or handlers, which is
+what lets the process backend shard ranks across workers without locks.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Any, Dict, List, Set, Tuple
 
-from ..results import SurveyReport
 from .driver import drive_push, make_push_intersect_handler
+from .program import SurveyProgram, execute_program
 from .pull import drive_pull, make_pull_handler
 from .registry import EngineSpec
 from .request import (
@@ -35,18 +37,16 @@ from .request import (
     SurveyResult,
 )
 
-__all__ = ["run_push_pull_survey"]
+__all__ = ["build_push_pull_program", "run_push_pull_survey"]
 
 
-def run_push_pull_survey(request: SurveyRequest, spec: EngineSpec) -> SurveyResult:
-    """Run the Push-Pull triangle survey described by ``request`` on ``spec``."""
+def build_push_pull_program(request: SurveyRequest, spec: EngineSpec) -> SurveyProgram:
+    """Compile the Push-Pull survey to a three-phase :class:`SurveyProgram`."""
     dodgr = request.dodgr
     world = dodgr.world
     nranks = world.nranks
     callback = request.callback
     per_triangle_compute = request.per_triangle_compute()
-    if request.reset_stats:
-        world.reset_stats()
 
     # Per-rank driver-side state for this run -------------------------------
     # pivots_by_target[rank][q] = list of (pivot vertex, index of q in its adj)
@@ -112,16 +112,10 @@ def run_push_pull_survey(request: SurveyRequest, spec: EngineSpec) -> SurveyResu
         # the legacy run exactly.
         h_propose_batch = world.register_handler(_propose_batch_handler)
 
-    host_start = time.perf_counter()
-
     # ------------------------------------------------------------------
     # Phase 1: Push vs Pull dry run.
     # ------------------------------------------------------------------
-    world.begin_phase(DRY_RUN_PHASE)
-    for ctx in world.ranks:
-        # Cooperative cancellation checkpoint (see push.py): deadlines
-        # abort between per-rank batches, never mid-RPC.
-        world.check_deadline()
+    def drive_dry_run(ctx) -> None:
         rank = ctx.rank
         store = dodgr.local_store(ctx)
         candidate_totals: Dict[Any, int] = {}
@@ -172,37 +166,35 @@ def run_push_pull_survey(request: SurveyRequest, spec: EngineSpec) -> SurveyResu
         else:
             for q, total in candidate_totals.items():
                 ctx.async_call_sized(dodgr.owner(q), h_propose, q, rank, total)
-    world.barrier()
 
     # ------------------------------------------------------------------
     # Phase 2: Push phase (skip targets that will be pulled).
     # ------------------------------------------------------------------
-    world.begin_phase(PUSH_PHASE)
-    for ctx in world.ranks:
-        world.check_deadline()
+    def drive_push_phase(ctx) -> None:
         drive_push(
             spec.push_style, ctx, dodgr, h_intersect, allowed=push_targets[ctx.rank]
         )
-    world.barrier()
 
     # ------------------------------------------------------------------
     # Phase 3: Pull phase (owners broadcast adjacency lists, coalesced).
     # ------------------------------------------------------------------
-    world.begin_phase(PULL_PHASE)
-    for ctx in world.ranks:
-        world.check_deadline()
+    def drive_pull_phase(ctx) -> None:
         drive_pull(spec.pull_style, ctx, dodgr, h_pull_deliver, pull_lists[ctx.rank])
-    world.barrier()
 
-    host_seconds = time.perf_counter() - host_start
-    phases = [DRY_RUN_PHASE, PUSH_PHASE, PULL_PHASE]
-    simulated = world.simulated_time(phases=phases)
-    report = SurveyReport.from_world_stats(
+    return SurveyProgram(
         algorithm="push_pull",
-        graph_name=request.graph_name or dodgr.name,
-        world_stats=world.stats,
-        simulated=simulated,
-        phases=phases,
-        host_seconds=host_seconds,
+        request=request,
+        spec=spec,
+        phases=[
+            (DRY_RUN_PHASE, drive_dry_run),
+            (PUSH_PHASE, drive_push_phase),
+            (PULL_PHASE, drive_pull_phase),
+        ],
     )
-    return SurveyResult(report=report, engine=spec.name, request=request)
+
+
+def run_push_pull_survey(request: SurveyRequest, spec: EngineSpec) -> SurveyResult:
+    """Run the Push-Pull triangle survey described by ``request`` on ``spec``."""
+    if request.reset_stats:
+        request.dodgr.world.reset_stats()
+    return execute_program(build_push_pull_program(request, spec))

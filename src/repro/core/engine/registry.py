@@ -43,12 +43,15 @@ except ImportError:  # pragma: no cover - exercised via the list fallback
 
 __all__ = [
     "EngineSpec",
+    "BACKENDS",
     "register_engine",
     "resolve_engine",
     "resolve_incremental_engine",
+    "resolve_backend",
     "registered_engines",
     "engine_names",
     "incremental_engine_names",
+    "backend_names",
 ]
 
 
@@ -109,6 +112,35 @@ def incremental_engine_names() -> Tuple[str, ...]:
     """Names of the engines that have an incremental (delta-survey) form."""
     return tuple(
         spec.name for spec in _REGISTRY.values() if spec.incremental_style is not None
+    )
+
+
+#: The execution-backend axis, orthogonal to the engine axis: every engine
+#: runs on every backend.  ``simulated`` is the single-process oracle world;
+#: ``process`` shards ranks across forked worker processes over shared-memory
+#: buffers while replaying the simulated wire accounting byte-for-byte
+#: (:mod:`repro.runtime.backend`).
+BACKENDS: Tuple[str, ...] = ("simulated", "process")
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered execution-backend names, oracle first."""
+    return BACKENDS
+
+
+def resolve_backend(backend: Any = None) -> str:
+    """Normalise a ``backend=`` selector to a known backend name.
+
+    ``None`` selects the simulated oracle — the default everywhere, so
+    existing callers are untouched by the backend axis.
+    """
+    if backend is None:
+        return "simulated"
+    if isinstance(backend, str) and backend in BACKENDS:
+        return backend
+    raise ValueError(
+        f"unknown execution backend {backend!r}; known: {BACKENDS}"
+        f"{suggest_name(backend, BACKENDS)}"
     )
 
 

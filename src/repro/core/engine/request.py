@@ -33,6 +33,7 @@ __all__ = [
     "SurveyRequest",
     "SurveyResult",
     "split_engine_selector",
+    "split_backend_selector",
     "default_engine",
 ]
 
@@ -79,11 +80,20 @@ class EngineConfig:
         Abstract compute units charged per triangle when a callback is
         supplied; ``None`` keeps the entry point's default
         (:data:`DEFAULT_CALLBACK_COMPUTE_UNITS`).
+    backend:
+        Execution backend (``"simulated"`` or ``"process"``); ``None`` keeps
+        the entry point's ``backend=`` argument (default simulated).
+    workers:
+        Worker-process count for the process backend; ``None`` keeps the
+        entry point's ``workers=`` argument (default: capped at four, the
+        host's core count and the rank count).
     """
 
     engine: Optional[str] = None
     kernel: Optional[str] = None
     callback_compute_units: Optional[int] = None
+    backend: Optional[str] = None
+    workers: Optional[int] = None
 
     @classmethod
     def coerce(cls, value: Any) -> "EngineConfig":
@@ -124,6 +134,25 @@ def split_engine_selector(
     return config.engine, config.kernel or kernel, callback_compute_units
 
 
+def split_backend_selector(
+    engine: Any, backend: Optional[str], workers: Optional[int]
+) -> Tuple[Optional[str], Optional[int]]:
+    """Resolve ``backend=``/``workers=`` keywords against an engine selector.
+
+    Mirrors :func:`split_engine_selector`: when ``engine`` is an
+    :class:`EngineConfig` its *set* backend fields win over the entry
+    point's loose keywords, so one config object can pin the whole
+    execution strategy (engine, kernel, backend, worker count) everywhere
+    an ``engine=`` keyword travels.
+    """
+    if isinstance(engine, EngineConfig):
+        if engine.backend is not None:
+            backend = engine.backend
+        if engine.workers is not None:
+            workers = engine.workers
+    return backend, workers
+
+
 def default_engine(engine: "EngineSelector", default: str) -> "EngineSelector":
     """Fill an unset engine name with a layer's documented default.
 
@@ -159,6 +188,10 @@ class SurveyRequest:
     #: Push-only surveys accumulate their counters under this phase name.
     phase_name: str = PUSH_PHASE
     callback_compute_units: int = DEFAULT_CALLBACK_COMPUTE_UNITS
+    #: Execution backend (:data:`repro.core.engine.registry.BACKENDS`).
+    backend: str = "simulated"
+    #: Worker-process count for the process backend (``None`` = auto).
+    workers: Optional[int] = None
 
     def per_triangle_compute(self) -> int:
         """Compute units charged per triangle (zero without a callback)."""

@@ -92,6 +92,7 @@ from .engine import (
     incremental_engine_names,
     resolve_batch_callback,
     resolve_incremental_engine,
+    split_backend_selector,
     split_engine_selector,
 )
 from .engine.delta import (
@@ -160,6 +161,16 @@ def incremental_triangle_survey(
     if delta.dodgr is not dodgr:
         raise ValueError("delta was applied against a different DODGraph")
     world = dodgr.world
+    backend, _workers = split_backend_selector(engine, None, None)
+    if backend not in (None, "simulated"):
+        from ..runtime.backend import UnsupportedBackendError
+
+        raise UnsupportedBackendError(
+            "incremental (delta) surveys run on backend='simulated' only: "
+            "the delta drive executes outside the SurveyProgram layer the "
+            "process backend shards.  Run full surveys on backend='process' "
+            "and delta batches on the default backend."
+        )
     engine, kernel, callback_compute_units = split_engine_selector(
         engine, kernel, callback_compute_units
     )

@@ -49,7 +49,9 @@ from .engine import (
     PUSH_PHASE,
     SurveyRequest,
     TriangleCallback,
+    resolve_backend,
     resolve_engine,
+    split_backend_selector,
     split_engine_selector,
 )
 from .engine.push_pull import run_push_pull_survey
@@ -74,6 +76,8 @@ def triangle_survey_push_pull(
     callback_compute_units: int = DEFAULT_CALLBACK_COMPUTE_UNITS,
     batched: Optional[bool] = None,
     engine=None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> SurveyReport:
     """Run the Push-Pull triangle survey over ``dodgr``.
 
@@ -111,9 +115,18 @@ def triangle_survey_push_pull(
         columnar pull phase.  All engines keep every communication total
         byte-identical (see the module docstring).
 
+    backend:
+        Execution backend: ``"simulated"`` (default) or ``"process"``
+        (rank-sharded forked workers; bit-identical panels, byte-identical
+        wire totals).  An :class:`~repro.core.engine.EngineConfig` with a
+        set ``backend`` field overrides this keyword.
+    workers:
+        Worker-process count for ``backend="process"`` (``None`` = auto).
+
     The returned report carries the three-phase breakdown (dry run / push /
     pull) and the number of pulled adjacency lists used for Table 3.
     """
+    backend, workers = split_backend_selector(engine, backend, workers)
     engine, kernel, callback_compute_units = split_engine_selector(
         engine, kernel, callback_compute_units
     )
@@ -126,6 +139,8 @@ def triangle_survey_push_pull(
         reset_stats=reset_stats,
         graph_name=graph_name,
         callback_compute_units=callback_compute_units,
+        backend=resolve_backend(backend),
+        workers=workers,
     )
     return run_push_pull_survey(request, spec).report
 

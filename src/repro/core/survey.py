@@ -52,8 +52,10 @@ from .engine import (
     SurveyRequest,
     TriangleCallback,
     engine_names,
+    resolve_backend,
     resolve_batch_callback,
     resolve_engine,
+    split_backend_selector,
     split_engine_selector,
 )
 from .engine.push import run_push_survey
@@ -109,6 +111,8 @@ def triangle_survey_push(
     callback_compute_units: int = DEFAULT_CALLBACK_COMPUTE_UNITS,
     batched: Optional[bool] = None,
     engine=None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> SurveyReport:
     """Run the Push-Only triangle survey over ``dodgr``.
 
@@ -148,7 +152,17 @@ def triangle_survey_push(
         engine delivers columnar batches; callbacks without one run
         unchanged via the scalar fallback.  Every engine shares the
         equivalence contract described in the module docstring.
+    backend:
+        Execution backend: ``"simulated"`` (default, the single-process
+        oracle) or ``"process"`` (rank-sharded forked workers over shared
+        memory; bit-identical reducer panels, byte-identical wire totals).
+        An :class:`~repro.core.engine.EngineConfig` with a set ``backend``
+        field overrides this keyword.
+    workers:
+        Worker-process count for ``backend="process"`` (``None`` = auto:
+        capped at four, the host's cores and the rank count).
     """
+    backend, workers = split_backend_selector(engine, backend, workers)
     engine, kernel, callback_compute_units = split_engine_selector(
         engine, kernel, callback_compute_units
     )
@@ -162,5 +176,7 @@ def triangle_survey_push(
         graph_name=graph_name,
         phase_name=phase_name,
         callback_compute_units=callback_compute_units,
+        backend=resolve_backend(backend),
+        workers=workers,
     )
     return run_push_survey(request, spec).report

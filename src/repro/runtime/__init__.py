@@ -11,8 +11,18 @@ The public surface mirrors the pieces of the C++ stack the paper describes:
 * :mod:`~repro.runtime.network_model` — the latency/bandwidth cost model that
   converts measured counters into simulated wall-clock time.
 * :mod:`~repro.runtime.reductions` — All_Reduce-style collectives.
+* :mod:`~repro.runtime.backend` — execution backends: the process backend
+  runs survey programs across forked rank-shard workers over shared memory,
+  bit-identical to the simulated oracle.
 """
 
+from .backend import (
+    ProcessBackendError,
+    UnsupportedBackendError,
+    active_segment_names,
+    resolve_worker_count,
+    run_program_in_processes,
+)
 from .faults import (
     FaultInjector,
     FaultPlan,
@@ -82,4 +92,9 @@ __all__ = [
     "reduce_dicts",
     "broadcast",
     "gather",
+    "ProcessBackendError",
+    "UnsupportedBackendError",
+    "active_segment_names",
+    "resolve_worker_count",
+    "run_program_in_processes",
 ]

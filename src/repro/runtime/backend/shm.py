@@ -1,0 +1,134 @@
+"""Shared-memory segment pool for the process backend, with a tracked registry.
+
+Worker processes pack every outgoing int64 column of an exchange round into
+one ``multiprocessing.shared_memory`` segment; receivers build zero-copy
+NumPy views over it (:mod:`repro.runtime.backend.transport`).  This module
+owns the segment *lifecycle*:
+
+* creators and attachers both unregister segments from the stdlib
+  ``resource_tracker`` (it would otherwise unlink attached segments at the
+  first process exit, and double-unlink warnings are noisy on CPython < 3.13),
+  making the backend's parent process the single unlink authority;
+* the parent tracks every segment name its workers report
+  (:func:`track_segments`) and unlinks them all when the survey ends —
+  normally, on a worker crash, or on a livelock abort;
+* :func:`sweep_prefix` is the belt-and-braces pass for segments a crashed
+  worker created but never got to report: every run uses a unique name
+  prefix, so a ``/dev/shm`` scan can reclaim them by name.
+
+The tests in ``tests/runtime/test_backend_process.py`` assert through
+:func:`active_segment_names` that the tracked registry is empty after every
+exit path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Set
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - ancient/embedded Pythons only
+    _shared_memory = None
+
+__all__ = [
+    "shared_memory_available",
+    "create_segment",
+    "attach_segment",
+    "track_segments",
+    "unlink_segments",
+    "sweep_prefix",
+    "active_segment_names",
+]
+
+#: Names of segments this process believes are currently linked in the OS.
+#: In the backend's parent process this is authoritative: workers report
+#: every segment they create, and every exit path ends in
+#: :func:`unlink_segments` / :func:`sweep_prefix`.
+_ACTIVE: Set[str] = set()
+
+
+def shared_memory_available() -> bool:
+    return _shared_memory is not None
+
+
+def _untrack(segment) -> None:
+    """Keep the stdlib resource tracker away from backend segments.
+
+    Registration is per-process and per-handle; without this, an attaching
+    worker's exit would unlink a segment other workers still map, and the
+    creator's exit would race the parent's explicit unlink.
+    """
+    try:  # pragma: no cover - depends on CPython internals staying stable
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def create_segment(name: str, size: int):
+    """Create (and locally track) a named segment of ``size`` bytes."""
+    if _shared_memory is None:  # pragma: no cover - guarded by callers
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    segment = _shared_memory.SharedMemory(name=name, create=True, size=size)
+    _untrack(segment)
+    _ACTIVE.add(name)
+    return segment
+
+
+def attach_segment(name: str):
+    """Attach to an existing segment without adopting unlink responsibility."""
+    segment = _shared_memory.SharedMemory(name=name)
+    _untrack(segment)
+    return segment
+
+
+def track_segments(names: Iterable[str]) -> None:
+    """Record worker-reported segment names in this process's registry."""
+    _ACTIVE.update(names)
+
+
+def unlink_segments(names: Iterable[str]) -> None:
+    """Unlink every named segment, tolerating ones already gone."""
+    for name in list(names):
+        if _shared_memory is not None:
+            try:
+                segment = _shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                pass
+            except OSError:  # pragma: no cover - platform-specific attach errors
+                pass
+            else:
+                segment.unlink()
+                segment.close()
+        _ACTIVE.discard(name)
+
+
+def sweep_prefix(prefix: str) -> List[str]:
+    """Reclaim run-prefixed segments a crashed worker never reported.
+
+    Best-effort and Linux-shaped (``/dev/shm`` scan); on other platforms the
+    tracked registry is the only cleanup, which covers every reported
+    segment.  Returns the names it removed.
+    """
+    removed: List[str] = []
+    for name in [n for n in _ACTIVE if n.startswith(prefix)]:
+        _ACTIVE.discard(name)
+    root = "/dev/shm"
+    if not prefix or not os.path.isdir(root):
+        return removed
+    for entry in os.listdir(root):
+        if not entry.startswith(prefix):
+            continue
+        try:
+            os.unlink(os.path.join(root, entry))
+        except OSError:  # pragma: no cover - raced by another cleanup
+            continue
+        removed.append(entry)
+    return removed
+
+
+def active_segment_names() -> frozenset:
+    """The tracked registry: segment names believed linked right now."""
+    return frozenset(_ACTIVE)

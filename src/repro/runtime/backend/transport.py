@@ -1,0 +1,215 @@
+"""Message codec for the process backend's exchange rounds.
+
+Messages that stay on their owning worker are never encoded — they keep
+Python object identity, exactly like the simulated world's by-reference
+delivery.  Cross-worker messages encode to small tagged tuples:
+
+* ``("buf", ...)`` — a :class:`~repro.runtime.message_buffer.BufferedMessage`:
+  the payload already is codec bytes, shipped verbatim;
+* ``("sized", ...)`` / ``("batched", ...)`` — by-reference carriers: the
+  handler travels as its registry id + name (handler registration happens
+  before the backend forks, so ids resolve to the same handler everywhere)
+  and each argument is encoded by :meth:`MessageEncoder.encode_value`:
+
+  - ``("shared", key)`` — a pre-fork shared object (CSR adjacency segments):
+    never shipped at all; the receiver resolves the key against its own
+    fork-inherited copy.
+  - ``("i64", segment, offset, length)`` — a contiguous int64 column
+    (candidate rows, q-positions, pull row ids — the ``TriangleBatch``
+    feedstock).  All columns of one worker's round are packed into a single
+    ``multiprocessing.shared_memory`` segment; the receiver builds a
+    zero-copy ``np.ndarray`` view over the mapped buffer.  Receivers treat
+    the views as frozen, the same contract sized messages already carry.
+  - ``("py", value)`` — everything else, pickled with the enclosing blob.
+
+None of this touches the wire *accounting*: ``nbytes`` / ``virtual_bytes``
+were computed by the sender's buffer bank from the serialization codec, and
+travel as plain ints — Table 4 totals are replayed, not re-measured.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..message_buffer import BufferedMessage, SizedMessage
+from ..rpc import RpcHandle
+from ..world import BatchedCall
+from . import shm as _shm
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the ("py", ...) fallback
+    _np = None
+
+__all__ = ["SegmentWriter", "MessageEncoder", "MessageDecoder", "sort_key"]
+
+
+def sort_key(msg: Any) -> Tuple[int, int]:
+    """Deterministic execution order within one exchange round.
+
+    ``(source rank, per-source sequence)`` reproduces the simulated inbox
+    order: the oracle drives ranks sequentially and appends FIFO, so a
+    destination's inbox is exactly its messages sorted by this key.
+    """
+    return (msg.source, msg.seq)
+
+
+class SegmentWriter:
+    """Packs every outgoing int64 column of one round into one segment.
+
+    Offsets are in elements (everything is int64); duplicate array objects
+    (one column fanned out to several destination workers) pack once.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._arrays: List[Any] = []
+        self._entries: Dict[int, Tuple[int, int]] = {}
+        self._total_elems = 0
+
+    def add(self, array: Any) -> Tuple[str, int, int]:
+        entry = self._entries.get(id(array))
+        if entry is None:
+            entry = (self._total_elems, int(array.shape[0]))
+            self._entries[id(array)] = entry
+            self._arrays.append(array)
+            self._total_elems += entry[1]
+        return (self.name, entry[0], entry[1])
+
+    def finish(self):
+        """Create and fill the segment; None when no columns were packed."""
+        if not self._arrays:
+            return None
+        segment = _shm.create_segment(self.name, max(1, self._total_elems * 8))
+        view = _np.ndarray((self._total_elems,), dtype=_np.int64, buffer=segment.buf)
+        for array in self._arrays:
+            offset, length = self._entries[id(array)]
+            view[offset : offset + length] = array
+        return segment
+
+
+class MessageEncoder:
+    """Encodes one worker's cross-worker messages for one exchange round."""
+
+    def __init__(
+        self, shared_ids: Dict[int, Any], writer: Optional[SegmentWriter]
+    ) -> None:
+        self._shared_ids = shared_ids
+        self._writer = writer
+
+    def encode_value(self, value: Any) -> Tuple[Any, ...]:
+        key = self._shared_ids.get(id(value))
+        if key is not None:
+            return ("shared", key)
+        if (
+            self._writer is not None
+            and _np is not None
+            and isinstance(value, _np.ndarray)
+            and value.dtype == _np.int64
+            and value.ndim == 1
+            and value.flags["C_CONTIGUOUS"]
+        ):
+            return ("i64",) + self._writer.add(value)
+        return ("py", value)
+
+    def encode_message(self, msg: Any) -> Tuple[Any, ...]:
+        if isinstance(msg, SizedMessage):
+            return (
+                "sized",
+                msg.source,
+                msg.dest,
+                msg.seq,
+                msg.handle.handler_id,
+                msg.handle.name,
+                tuple(self.encode_value(v) for v in msg.args),
+                msg.nbytes,
+            )
+        if isinstance(msg, BatchedCall):
+            return (
+                "batched",
+                msg.source,
+                msg.dest,
+                msg.seq,
+                msg.handle.handler_id,
+                msg.handle.name,
+                tuple(self.encode_value(v) for v in msg.args),
+                msg.virtual_rpcs,
+                msg.virtual_bytes,
+            )
+        if isinstance(msg, BufferedMessage):
+            return ("buf", msg.source, msg.dest, msg.seq, msg.payload)
+        raise TypeError(f"cannot ship message of type {type(msg).__name__}")
+
+    def encode_blob(self, messages: Iterable[Any]) -> bytes:
+        """One pre-pickled bundle per destination worker.
+
+        The parent routes these opaquely — it never unpickles message
+        content, so the coordinator stays off the data path.
+        """
+        return pickle.dumps(
+            [self.encode_message(m) for m in messages],
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+
+class MessageDecoder:
+    """Rebuilds messages on the receiving worker.
+
+    Keeps every attached segment mapped for the survey's lifetime — the
+    int64 views alias the mapping, so it must outlive them.  The backend
+    closes the attachments when the worker finishes.
+    """
+
+    def __init__(self, registry: Any, shared_objects: Dict[Any, Any]) -> None:
+        self._registry = registry
+        self._shared = shared_objects
+        self.attachments: Dict[str, Any] = {}
+
+    def decode_value(self, entry: Tuple[Any, ...]) -> Any:
+        tag = entry[0]
+        if tag == "py":
+            return entry[1]
+        if tag == "shared":
+            return self._shared[entry[1]]
+        if tag == "i64":
+            _, name, offset, length = entry
+            segment = self.attachments.get(name)
+            if segment is None:
+                segment = self.attachments[name] = _shm.attach_segment(name)
+            return _np.ndarray(
+                (length,), dtype=_np.int64, buffer=segment.buf, offset=offset * 8
+            )
+        raise TypeError(f"unknown encoded value tag {tag!r}")
+
+    def decode_message(self, entry: Tuple[Any, ...]) -> Any:
+        tag = entry[0]
+        if tag == "sized":
+            _, source, dest, seq, handler_id, name, args, nbytes = entry
+            handle = RpcHandle(self._registry, handler_id, name)
+            return SizedMessage(
+                source, dest, handle,
+                tuple(self.decode_value(v) for v in args), nbytes, seq,
+            )
+        if tag == "batched":
+            _, source, dest, seq, handler_id, name, args, v_rpcs, v_bytes = entry
+            handle = RpcHandle(self._registry, handler_id, name)
+            return BatchedCall(
+                source, dest, handle,
+                tuple(self.decode_value(v) for v in args), v_rpcs, v_bytes, seq,
+            )
+        if tag == "buf":
+            _, source, dest, seq, payload = entry
+            return BufferedMessage(source, dest, payload, seq)
+        raise TypeError(f"unknown encoded message tag {tag!r}")
+
+    def decode_blob(self, blob: bytes) -> List[Any]:
+        return [self.decode_message(entry) for entry in pickle.loads(blob)]
+
+    def close(self) -> None:
+        for segment in self.attachments.values():
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - already unlinked/closed
+                pass
+        self.attachments.clear()

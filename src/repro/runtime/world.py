@@ -350,6 +350,13 @@ class World:
         #: that raises when its budget is spent (duck-typed so the runtime
         #: layer never imports the service layer).  Dormant by default.
         self._deadline: Optional[Any] = None
+        #: Execution-backend message fabric (duck-typed: ``enqueue_messages``,
+        #: ``enqueue_batched``, ``barrier``).  A process-backend worker
+        #: installs one after forking so every enqueue — drive-time sends,
+        #: threshold flushes, batched calls — routes through it instead of
+        #: the in-process inboxes.  None in the simulated world and in the
+        #: process backend's parent, so the oracle path is untouched.
+        self._fabric: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -522,6 +529,9 @@ class World:
 
     # ------------------------------------------------------------------
     def _enqueue_messages(self, messages: Iterable[BufferedMessage]) -> None:
+        if self._fabric is not None:
+            self._fabric.enqueue_messages(messages)
+            return
         if self._transport is not None:
             for msg in messages:
                 self._route_with_faults(msg)
@@ -530,6 +540,9 @@ class World:
             self._inboxes[msg.dest].append(msg)
 
     def _enqueue_batched(self, call: BatchedCall) -> None:
+        if self._fabric is not None:
+            self._fabric.enqueue_batched(call)
+            return
         if self._transport is not None:
             self._route_with_faults(call)
             return
@@ -681,6 +694,9 @@ class World:
         unacknowledged sends — the barrier keeps ticking the retry clock
         until at-least-once delivery has landed everything exactly once.
         """
+        if self._fabric is not None:
+            self._fabric.barrier()
+            return
         if self._in_delivery:
             raise WorldError("barrier() cannot be called from inside an RPC handler")
         self._in_delivery = True

@@ -87,6 +87,21 @@ def test_engine_registry_matches_readme_table():
     )
 
 
+def test_backend_axis_matches_readme_table():
+    """Mirror of tools/check_engines.py check 1 for the backend axis: the
+    README's backend-selector table and the registry's backend names agree."""
+    import check_engines
+
+    from repro.core.engine import backend_names
+
+    documented = check_engines.documented_backends(REPO_ROOT / "README.md")
+    assert documented == backend_names(), (
+        "README backend-selector table and the backend axis disagree; "
+        "update the table in README.md (or BACKENDS in "
+        "src/repro/core/engine/registry.py)"
+    )
+
+
 def test_sweep_engine_axis_matches_registry():
     """Mirror of tools/check_engines.py check 3: the scenario sweep's engine
     axis is the live registry, so the coverage map can't drop an engine."""

@@ -345,3 +345,52 @@ class TestLivelockGuard:
         execute_survey(SurveyRequest(dodgr=dodgr, callback=reducer.callback))
         reducer.finalize()
         assert reducer.snapshot() == run_survey("legacy")[0]
+
+
+# ---------------------------------------------------------------------------
+# Fault plans x process backend (pinned contract)
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlansVsProcessBackend:
+    """Fault injection is a simulated-backend feature, by contract.
+
+    Fault fates (drops, delays, duplicates, crash-after-k-executions) are
+    defined over the simulated transport's delivery sweeps, which the
+    process backend's exchange rounds do not reproduce one-for-one — so an
+    installed plan must be rejected loudly before any worker forks, never
+    silently ignored.
+    """
+
+    def test_installed_fault_plan_rejected(self):
+        from repro.runtime import UnsupportedBackendError
+
+        world = World(NRANKS)
+        world.install_fault_plan(FaultPlan(name="armed", reliable=True))
+        graph = DistributedGraph.from_edges(world, small_edges(), name="faults")
+        dodgr = DODGraph.build(graph, mode="bulk")
+        reducer = LocalTriangleCounter(world)
+        request = SurveyRequest(
+            dodgr=dodgr, callback=reducer.callback, backend="process", workers=2
+        )
+        with pytest.raises(UnsupportedBackendError, match="FaultPlan"):
+            execute_survey(request)
+
+    def test_cleared_plan_runs_on_process_backend(self):
+        """The rejection is about *installed* machinery, not history: after
+        clear_fault_plan() the same world runs on the process backend and
+        matches the fault-free oracle."""
+        oracle_panel, oracle_triangles = run_survey("legacy")[:2]
+        world = World(NRANKS)
+        world.install_fault_plan(FaultPlan(name="armed", reliable=True))
+        world.clear_fault_plan()
+        graph = DistributedGraph.from_edges(world, small_edges(), name="faults")
+        dodgr = DODGraph.build(graph, mode="bulk")
+        reducer = LocalTriangleCounter(world)
+        request = SurveyRequest(
+            dodgr=dodgr, callback=reducer.callback, backend="process", workers=2
+        )
+        report = execute_survey(request).report
+        reducer.finalize()
+        assert reducer.snapshot() == oracle_panel
+        assert report.triangles == oracle_triangles

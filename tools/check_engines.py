@@ -5,13 +5,16 @@ Four checks, exit status 1 on any failure (each printed to stderr):
 
 1. **Listing parity** — the engine names in README.md's engine-selector
    table (the rows of the ``| Engine |`` table) must equal the registry
-   (:func:`repro.core.engine.engine_names`), in order.  Registering an
-   engine without documenting it — or documenting one that does not exist —
-   fails CI.
+   (:func:`repro.core.engine.engine_names`), in order; likewise the
+   backend names in the ``| Backend |`` table must equal the backend axis
+   (:func:`repro.core.engine.backend_names`).  Registering an engine or
+   backend without documenting it — or documenting one that does not
+   exist — fails CI.
 2. **Execution parity** — every registered engine runs a tiny survey (both
    algorithms, a graph small enough for CI seconds) and must match the
    legacy oracle exactly: reducer panel, triangle count, communicated
-   bytes, wire messages.
+   bytes, wire messages.  The same smoke runs once on the process backend,
+   which must match the simulated oracle bit-for-bit.
 3. **Sweep axis parity** — the scenario sweep's default engine axis
    (:func:`repro.sweep.sweep_engine_axis`) must equal the registry, and a
    one-config sweep must produce a cell for every engine — so a newly
@@ -38,7 +41,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core import triangle_survey_push, triangle_survey_push_pull  # noqa: E402
 from repro.core.callbacks import LocalTriangleCounter  # noqa: E402
-from repro.core.engine import engine_names  # noqa: E402
+from repro.core.engine import backend_names, engine_names  # noqa: E402
 from repro.graph import DODGraph  # noqa: E402
 from repro.graph.generators import erdos_renyi  # noqa: E402
 from repro.runtime import World  # noqa: E402
@@ -50,12 +53,12 @@ SMOKE_RANKS = 4
 SMOKE_GRAPH = dict(num_vertices=40, edge_probability=0.25, seed=11)
 
 
-def documented_engines(readme: Path) -> Tuple[str, ...]:
-    """Engine names listed in the README's engine-selector table, in order."""
+def _documented_table(readme: Path, header: str) -> Tuple[str, ...]:
+    """First-cell backticked names of the README table starting at ``header``."""
     names: List[str] = []
     in_table = False
     for line in readme.read_text(encoding="utf-8").splitlines():
-        if line.startswith("| Engine |"):
+        if line.startswith(header):
             in_table = True
             continue
         if in_table:
@@ -67,14 +70,25 @@ def documented_engines(readme: Path) -> Tuple[str, ...]:
     return tuple(names)
 
 
-def run_smoke(engine: str, algorithm: str):
+def documented_engines(readme: Path) -> Tuple[str, ...]:
+    """Engine names listed in the README's engine-selector table, in order."""
+    return _documented_table(readme, "| Engine |")
+
+
+def documented_backends(readme: Path) -> Tuple[str, ...]:
+    """Backend names listed in the README's backend-selector table, in order."""
+    return _documented_table(readme, "| Backend |")
+
+
+def run_smoke(engine: str, algorithm: str, backend: str = "simulated"):
     """One fresh-world survey: (panel, triangles, comm bytes, wire messages)."""
     generated = erdos_renyi(**SMOKE_GRAPH)
     world = World(SMOKE_RANKS)
     dodgr = DODGraph.build(generated.to_distributed(world), mode="bulk")
     reducer = LocalTriangleCounter(world)
     survey = triangle_survey_push if algorithm == "push" else triangle_survey_push_pull
-    report = survey(dodgr, reducer.callback, engine=engine)
+    workers = 2 if backend == "process" else None
+    report = survey(dodgr, reducer.callback, engine=engine, backend=backend, workers=workers)
     reducer.finalize()
     return (
         reducer.snapshot(),
@@ -149,6 +163,13 @@ def main() -> int:
         errors.append(
             f"README engine table {documented!r} != registry {registered!r}"
         )
+    backends = backend_names()
+    documented_backend_table = documented_backends(REPO_ROOT / "README.md")
+    if documented_backend_table != backends:
+        errors.append(
+            f"README backend table {documented_backend_table!r} != "
+            f"backend axis {backends!r}"
+        )
 
     for algorithm in ("push", "push_pull"):
         oracle = run_smoke("legacy", algorithm)
@@ -162,6 +183,15 @@ def main() -> int:
                     f"(panel/triangles/bytes/messages {result[1:]} vs "
                     f"legacy {oracle[1:]})"
                 )
+        # The backend axis replays the same contract: one process-backend
+        # smoke per algorithm, bit-identical to the simulated oracle.
+        process_result = run_smoke("legacy", algorithm, backend="process")
+        if process_result != oracle:
+            errors.append(
+                f"legacy/{algorithm}: process-backend smoke diverged "
+                f"(panel/triangles/bytes/messages {process_result[1:]} vs "
+                f"simulated {oracle[1:]})"
+            )
 
     errors.extend(check_sweep_axis(registered))
     errors.extend(check_reducer_contract())
@@ -175,6 +205,8 @@ def main() -> int:
     print(
         f"check_engines: {len(registered)} engines documented, parity-clean, "
         f"and on the sweep axis ({', '.join(registered)}); "
+        f"{len(backends)} backends documented and parity-clean "
+        f"({', '.join(backends)}); "
         f"{len(reducer_names())} reducers honour the "
         "snapshot/merge/callback_batch contract"
     )
