@@ -71,7 +71,22 @@ def emit(text: str) -> None:
 
 
 def emit_json(name: str, payload: Dict[str, Any]) -> None:
-    """Record ``payload`` under ``name`` in the JSON artifact file."""
+    """Record ``payload`` under ``name`` in the JSON artifact file.
+
+    Every payload is stamped with the process's peak resident memory
+    (``peak_rss_bytes``, a ``setdefault`` so benchmarks that measure their
+    own phase-scoped memory keep their value) — the memory context the
+    out-of-core gates introduced, attached uniformly so any benchmark's
+    footprint can be diffed across runs.
+    """
+    try:
+        from repro.bench.reporting import peak_rss_bytes
+
+        rss = peak_rss_bytes()
+        if rss is not None:
+            payload.setdefault("peak_rss_bytes", rss)
+    except ImportError:  # pragma: no cover - bench run without src on path
+        pass
     path = json_artifact_path()
     try:
         existing = json.loads(path.read_text() or "{}")

@@ -1,0 +1,386 @@
+"""Intersection kernel tiers — cutoff sweep and compiled-tier gate (ISSUE 10).
+
+Not a figure from the paper: this microbenchmark pins the kernel-tier layer
+added for beyond-RAM scale.  The row/batch intersection kernels now come in
+tiers sharing one contract (identical matches, identical aggregate
+comparison counts):
+
+* ``scalar``   — the reference per-segment Python loops, always available;
+* ``columnar`` — NumPy array pipelines with a scalar small-input escape
+  hatch governed by ``_SCALAR_BATCH_CUTOFF`` / ``_SCALAR_ROW_SEGMENT_CUTOFF``;
+* ``compiled`` — numba-jitted merge loops, registered only when numba
+  imports (``compiled -> columnar -> scalar`` downgrade otherwise).
+
+Two jobs here:
+
+1. **Cutoff sweep** — force the columnar kernels down their scalar and
+   vectorized routes across input sizes bracketing the cutoffs, time both,
+   assert parity at every point, and record where the crossover actually
+   sits so the cutoff constants can be audited against measurements.
+2. **Tier replay gate** — capture every row-kernel invocation of a real
+   columnar survey over the ``rmat-weak`` dataset (the ``bench_survey_engine``
+   workload), replay the captured calls through every available tier,
+   assert bit-identical matches + comparison counts, and gate the compiled
+   tier at >= 2x over columnar host time.  The gate runs only where numba
+   is installed (the CI kernel-tier leg); numba-less environments record
+   the available tiers and skip the assertion, passing unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _artifacts import emit, emit_json
+from repro.bench import format_table, load_dataset
+from repro.core import intersection as intersection_mod
+from repro.core.callbacks import TriangleCounter
+from repro.core.engine import DEFAULT_CALLBACK_COMPUTE_UNITS, resolve_batch_callback
+from repro.core.engine.driver import (
+    drive_columnar_push,
+    legacy_push_payload_overhead,
+    make_columnar_intersect_handler,
+)
+from repro.core.intersection import (
+    ROW_KERNELS,
+    available_kernel_tiers,
+    batch_kernel,
+    resolve_kernel_tier,
+    row_kernel,
+)
+from repro.core.intersection_compiled import NUMBA_AVAILABLE
+from repro.graph.dodgr import DODGraph
+from repro.runtime.world import World
+
+NODES = 16
+#: The compiled tier must at least halve columnar kernel time on the
+#: replayed survey workload before it earns its registry slot.
+COMPILED_SPEEDUP_GATE = 2.0
+#: A cutoff constant large enough to force the scalar route at every size
+#: this sweep generates (and small enough to stay an exact int64).
+FORCE_SCALAR = 1 << 40
+
+
+def best_seconds(fn, repeats=3, iterations=5):
+    """Best-of-``repeats`` mean seconds per call over ``iterations`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, (time.perf_counter() - start) / iterations)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Synthetic inputs bracketing the cutoffs
+# ---------------------------------------------------------------------------
+
+
+def make_batch_input(rng, total_candidates, n_segments, adj_len, order_count=1 << 16):
+    """Sorted candidate segments + one shared sorted adjacency."""
+    bounds = np.sort(rng.integers(0, total_candidates + 1, size=n_segments - 1))
+    offsets = np.concatenate(([0], bounds, [total_candidates])).astype(np.int64)
+    segments = []
+    for seg in range(n_segments):
+        length = int(offsets[seg + 1] - offsets[seg])
+        keys = rng.choice(order_count, size=length, replace=False) if length else []
+        segments.append(np.sort(np.asarray(keys, dtype=np.int64)))
+    candidates = (
+        np.concatenate(segments) if segments else np.empty(0, dtype=np.int64)
+    ).astype(np.int64)
+    adjacency = np.sort(
+        rng.choice(order_count, size=adj_len, replace=False).astype(np.int64)
+    )
+    return candidates, offsets, adjacency
+
+
+def make_row_input(rng, n_segments, seg_len, n_rows, row_len, order_count=1 << 16):
+    """Sorted candidate segments + a multi-row adjacency + a row per segment."""
+    total = n_segments * seg_len
+    offsets = (np.arange(n_segments + 1, dtype=np.int64) * seg_len).astype(np.int64)
+    candidates = np.concatenate(
+        [
+            np.sort(rng.choice(order_count, size=seg_len, replace=False))
+            for _ in range(n_segments)
+        ]
+        or [np.empty(0, dtype=np.int64)]
+    ).astype(np.int64)
+    assert candidates.size == total
+    keys = np.concatenate(
+        [
+            np.sort(rng.choice(order_count, size=row_len, replace=False))
+            for _ in range(n_rows)
+        ]
+    ).astype(np.int64)
+    indptr = (np.arange(n_rows + 1, dtype=np.int64) * row_len).astype(np.int64)
+    adjacency = intersection_mod.RowAdjacency(keys, indptr, order_count)
+    seg_rows = rng.integers(0, n_rows, size=n_segments).astype(np.int64)
+    return candidates, offsets, seg_rows, adjacency
+
+
+def canonical_batch(result):
+    return (sorted(tuple(m) for m in result.matches), int(result.comparisons))
+
+
+def canonical_rows(result):
+    return (
+        [int(v) for v in result.seg],
+        [int(v) for v in result.cand_pos],
+        [int(v) for v in result.adj_pos],
+        int(result.comparisons),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cutoff sweep: scalar route vs vectorized route across sizes
+# ---------------------------------------------------------------------------
+
+
+def _with_cutoffs(batch_cutoff, segment_cutoff, fn):
+    """Run ``fn`` with the module cutoffs pinned, restoring them afterwards."""
+    saved = (
+        intersection_mod._SCALAR_BATCH_CUTOFF,
+        intersection_mod._SCALAR_ROW_SEGMENT_CUTOFF,
+    )
+    intersection_mod._SCALAR_BATCH_CUTOFF = batch_cutoff
+    intersection_mod._SCALAR_ROW_SEGMENT_CUTOFF = segment_cutoff
+    try:
+        return fn()
+    finally:
+        (
+            intersection_mod._SCALAR_BATCH_CUTOFF,
+            intersection_mod._SCALAR_ROW_SEGMENT_CUTOFF,
+        ) = saved
+
+
+def test_cutoff_sweep(benchmark):
+    """Time both routes of the columnar kernels around the scalar cutoffs.
+
+    ``_SCALAR_BATCH_CUTOFF`` (96 keys) and ``_SCALAR_ROW_SEGMENT_CUTOFF``
+    (4 segments) claim the scalar loops win below them.  This sweep forces
+    each route at sizes bracketing the cutoffs, asserts the two routes agree
+    bit-for-bit, and records the measured crossover next to the defaults.
+    """
+    rng = np.random.default_rng(10)
+    kernel_fn = intersection_mod.BATCH_KERNELS["merge_path"]
+    row_fn = ROW_KERNELS["merge_path"]
+
+    batch_rows = []
+    # total keys (candidates + adjacency) sweeps through the 96-key cutoff.
+    for total_candidates, adj_len in [(8, 8), (24, 24), (48, 48), (96, 96), (192, 192), (512, 512)]:
+        cand, offs, adj = make_batch_input(rng, total_candidates, 4, adj_len)
+        scalar_result = _with_cutoffs(FORCE_SCALAR, FORCE_SCALAR, lambda: kernel_fn(cand, offs, adj))
+        vector_result = _with_cutoffs(-1, -1, lambda: kernel_fn(cand, offs, adj))
+        assert canonical_batch(scalar_result) == canonical_batch(vector_result), (
+            f"batch route mismatch at {total_candidates}+{adj_len} keys"
+        )
+        scalar_s = _with_cutoffs(
+            FORCE_SCALAR, FORCE_SCALAR, lambda: best_seconds(lambda: kernel_fn(cand, offs, adj))
+        )
+        vector_s = _with_cutoffs(
+            -1, -1, lambda: best_seconds(lambda: kernel_fn(cand, offs, adj))
+        )
+        batch_rows.append(
+            {
+                "shape": "batch",
+                "total_keys": total_candidates + adj_len,
+                "segments": 4,
+                "scalar_us": scalar_s * 1e6,
+                "vectorized_us": vector_s * 1e6,
+                "scalar_over_vectorized": scalar_s / vector_s,
+                "default_route": "scalar"
+                if total_candidates + adj_len <= intersection_mod._SCALAR_BATCH_CUTOFF
+                else "vectorized",
+            }
+        )
+
+    row_rows = []
+    # segment count sweeps through the 4-segment cutoff (short segments, so
+    # the 96-key cutoff alone would keep routing small calls to scalar).
+    for n_segments in [1, 2, 4, 8, 16, 64]:
+        cand, offs, seg_rows, adjacency = make_row_input(rng, n_segments, 8, 32, 12)
+        scalar_result = _with_cutoffs(
+            FORCE_SCALAR, FORCE_SCALAR, lambda: row_fn(cand, offs, seg_rows, adjacency)
+        )
+        vector_result = _with_cutoffs(
+            -1, -1, lambda: row_fn(cand, offs, seg_rows, adjacency)
+        )
+        assert canonical_rows(scalar_result) == canonical_rows(vector_result), (
+            f"row route mismatch at {n_segments} segments"
+        )
+        scalar_s = _with_cutoffs(
+            FORCE_SCALAR,
+            FORCE_SCALAR,
+            lambda: best_seconds(lambda: row_fn(cand, offs, seg_rows, adjacency)),
+        )
+        vector_s = _with_cutoffs(
+            -1, -1, lambda: best_seconds(lambda: row_fn(cand, offs, seg_rows, adjacency))
+        )
+        row_rows.append(
+            {
+                "shape": "rows",
+                "total_keys": int(cand.size),
+                "segments": n_segments,
+                "scalar_us": scalar_s * 1e6,
+                "vectorized_us": vector_s * 1e6,
+                "scalar_over_vectorized": scalar_s / vector_s,
+                "default_route": "scalar"
+                if (
+                    cand.size <= intersection_mod._SCALAR_BATCH_CUTOFF
+                    and n_segments <= intersection_mod._SCALAR_ROW_SEGMENT_CUTOFF
+                )
+                else "vectorized",
+            }
+        )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = batch_rows + row_rows
+    emit(
+        format_table(
+            [
+                {
+                    **{k: row[k] for k in ("shape", "total_keys", "segments", "default_route")},
+                    "scalar us": round(row["scalar_us"], 2),
+                    "vectorized us": round(row["vectorized_us"], 2),
+                    "scalar/vectorized": round(row["scalar_over_vectorized"], 2),
+                }
+                for row in rows
+            ],
+            title="Columnar-tier scalar cutoffs — route timing sweep",
+        )
+    )
+    emit_json(
+        "bench_intersection_cutoffs",
+        {
+            "batch_cutoff_default": intersection_mod._SCALAR_BATCH_CUTOFF,
+            "segment_cutoff_default": intersection_mod._SCALAR_ROW_SEGMENT_CUTOFF,
+            "sweep": rows,
+        },
+    )
+    benchmark.extra_info["points"] = len(rows)
+    # The defaults must not be absurd: at the largest swept size the
+    # vectorized route has to win, at the smallest it must not lose badly.
+    assert batch_rows[-1]["scalar_over_vectorized"] > 1.0
+    assert row_rows[-1]["scalar_over_vectorized"] > 1.0
+
+
+# ---------------------------------------------------------------------------
+# Tier replay: real survey call shapes through every tier
+# ---------------------------------------------------------------------------
+
+
+def capture_row_calls(dataset):
+    """Run a columnar push survey recording every row-kernel invocation.
+
+    Returns the captured ``(candidates, offsets, seg_rows, adjacency)``
+    argument tuples — the exact call shapes ``bench_survey_engine``'s
+    workload feeds the kernel layer — plus the triangle count for parity.
+    """
+    world = World(NODES)
+    graph = dataset.to_distributed(world)
+    dodgr = DODGraph.build(graph, mode="bulk")
+    reducer = TriangleCounter(world)
+    base = ROW_KERNELS["merge_path"]
+    calls = []
+
+    def recording_kernel(candidates, offsets, seg_rows, adjacency):
+        calls.append((candidates, offsets, seg_rows, adjacency))
+        return base(candidates, offsets, seg_rows, adjacency)
+
+    handler = world.register_handler(
+        make_columnar_intersect_handler(
+            dodgr,
+            recording_kernel,
+            reducer.callback,
+            resolve_batch_callback(reducer.callback),
+            DEFAULT_CALLBACK_COMPUTE_UNITS,
+        )
+    )
+    overhead = legacy_push_payload_overhead(handler.handler_id)
+    world.begin_phase("push")
+    for ctx in world.ranks:
+        drive_columnar_push(ctx, dodgr, dodgr.csr(ctx), handler, overhead)
+    world.barrier()
+    return calls, reducer.result()
+
+
+def replay(calls, tier):
+    """Replay every captured call through ``tier``'s merge-path row kernel."""
+    kernel_fn = row_kernel("merge_path", tier)
+    results = [
+        canonical_rows(kernel_fn(cand, offs, rows, adjacency))
+        for cand, offs, rows, adjacency in calls
+    ]
+    return results
+
+
+def test_tier_replay_parity_and_compiled_gate(benchmark):
+    """Every available tier reproduces the survey's kernel calls exactly;
+    where numba is installed the compiled tier must beat columnar >= 2x."""
+    dataset = load_dataset("rmat-weak")
+    calls, triangles = capture_row_calls(dataset)
+    assert calls, "columnar survey produced no row-kernel calls"
+
+    tiers = available_kernel_tiers()
+    assert "columnar" in tiers and "scalar" in tiers
+
+    def run_all():
+        out = {}
+        for tier in tiers:
+            replay(calls, tier)  # warm-up (JIT compile for the compiled tier)
+            seconds = best_seconds(lambda: replay(calls, tier), repeats=3, iterations=1)
+            out[tier] = (seconds, replay(calls, tier))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reference = results["scalar"][1]
+    for tier in tiers:
+        assert results[tier][1] == reference, f"tier {tier} diverged from scalar"
+
+    columnar_s = results["columnar"][0]
+    trajectory = {
+        "dataset": dataset.name,
+        "nodes": NODES,
+        "row_kernel_calls": len(calls),
+        "triangles": triangles,
+        "numba_available": NUMBA_AVAILABLE,
+        "compiled_resolves_to": resolve_kernel_tier("compiled"),
+        "gate": COMPILED_SPEEDUP_GATE,
+        "tiers": {
+            tier: {
+                "replay_seconds": seconds,
+                "speedup_vs_columnar": columnar_s / seconds,
+            }
+            for tier, (seconds, _results) in results.items()
+        },
+    }
+    emit(
+        format_table(
+            [
+                {
+                    "tier": tier,
+                    "replay seconds": round(seconds, 4),
+                    "vs columnar": f"{columnar_s / seconds:.2f}x",
+                }
+                for tier, (seconds, _results) in results.items()
+            ],
+            title=f"Kernel-tier replay — {len(calls)} captured row-kernel calls",
+        )
+    )
+    emit_json("bench_intersection_kernels", trajectory)
+    benchmark.extra_info.update(
+        {"tiers": list(tiers), "numba_available": NUMBA_AVAILABLE}
+    )
+
+    if not NUMBA_AVAILABLE:
+        assert "compiled" not in tiers
+        assert resolve_kernel_tier("compiled") == "columnar"
+        pytest.skip("numba unavailable: compiled tier downgrades to columnar")
+    compiled_speedup = columnar_s / results["compiled"][0]
+    assert compiled_speedup >= COMPILED_SPEEDUP_GATE, (
+        f"compiled tier {compiled_speedup:.2f}x over columnar on the replayed "
+        f"survey workload, below the {COMPILED_SPEEDUP_GATE}x gate"
+    )

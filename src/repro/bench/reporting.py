@@ -8,6 +8,7 @@ textual version of every artifact next to the timing numbers.
 
 from __future__ import annotations
 
+import tracemalloc
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 __all__ = [
@@ -20,6 +21,9 @@ __all__ = [
     "human_bytes",
     "human_count",
     "percentiles",
+    "peak_rss_bytes",
+    "AllocationTracker",
+    "memory_snapshot",
 ]
 
 
@@ -215,3 +219,82 @@ def format_matrix(
         row = grid[i][: len(shown)]
         lines.append(f"{label.ljust(width)} " + " ".join(f"{value:>6d}" for value in row))
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Peak-memory tracking (out-of-core gates, ISSUE 10)
+# ---------------------------------------------------------------------------
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process so far, in bytes.
+
+    ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` — kilobytes on Linux,
+    bytes on macOS — normalised to bytes.  A process-lifetime high-water
+    mark: it never decreases, so benchmarks report it as context (how big
+    did the process ever get) and gate *phase* allocations with
+    :class:`AllocationTracker` instead.  Returns ``None`` on platforms
+    without the ``resource`` module (Windows), so artifact emission can
+    degrade gracefully.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    import sys
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(rss)
+    return int(rss) * 1024
+
+
+class AllocationTracker:
+    """Python-allocation high-water mark over one measured region.
+
+    ``tracemalloc``-based: unlike :func:`peak_rss_bytes` this *can* be reset
+    between phases, which is what lets the out-of-core benchmark gate the
+    survey phase's transient allocations against the configured budget after
+    the (unavoidably resident) graph build.  Use as a context manager::
+
+        with AllocationTracker() as tracker:
+            run_survey(...)
+        assert tracker.peak_bytes <= budget
+
+    Nested/pre-existing tracing is respected: if ``tracemalloc`` was already
+    running, the tracker only resets the peak counter and leaves tracing on
+    at exit.
+    """
+
+    def __init__(self) -> None:
+        self.peak_bytes: Optional[int] = None
+        self._started_here = False
+
+    def __enter__(self) -> "AllocationTracker":
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+        else:
+            tracemalloc.start()
+            self._started_here = True
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        _current, peak = tracemalloc.get_traced_memory()
+        self.peak_bytes = int(peak)
+        if self._started_here:
+            tracemalloc.stop()
+
+
+def memory_snapshot() -> Dict[str, Optional[int]]:
+    """The memory facts every benchmark artifact can carry.
+
+    ``peak_rss_bytes`` is the process high-water mark;
+    ``traced_current_bytes``/``traced_peak_bytes`` are present only while a
+    :class:`AllocationTracker` (or other ``tracemalloc`` client) is tracing.
+    """
+    snapshot: Dict[str, Optional[int]] = {"peak_rss_bytes": peak_rss_bytes()}
+    if tracemalloc.is_tracing():
+        current, peak = tracemalloc.get_traced_memory()
+        snapshot["traced_current_bytes"] = int(current)
+        snapshot["traced_peak_bytes"] = int(peak)
+    return snapshot

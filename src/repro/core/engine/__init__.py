@@ -58,6 +58,7 @@ from .registry import (
     resolve_backend,
     resolve_engine,
     resolve_incremental_engine,
+    validate_request,
 )
 from .request import (
     DEFAULT_CALLBACK_COMPUTE_UNITS,
@@ -73,6 +74,7 @@ from .request import (
     default_engine,
     split_backend_selector,
     split_engine_selector,
+    split_execution_selector,
 )
 from .driver import resolve_batch_callback
 from .program import SurveyProgram, execute_program
@@ -98,6 +100,8 @@ __all__ = [
     "backend_names",
     "split_engine_selector",
     "split_backend_selector",
+    "split_execution_selector",
+    "validate_request",
     "default_engine",
     "resolve_batch_callback",
     "execute_program",

@@ -29,13 +29,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ...graph.degree import order_key
 from ...graph.dodgr import CSRAdjacency, DODGraph, entry_key
+from ...graph.ooc import stage_send_columns
 from ...graph.metadata import TriangleBatch, TriangleMetadata
 from ...runtime.serialization import serialized_size, uvarint_size, uvarint_size_array
 from ..intersection import (
-    BATCH_KERNELS,
     INTERSECTION_KERNELS,
-    ROW_KERNELS,
     RowAdjacency,
+    batch_kernel as select_batch_kernel,
+    row_kernel as select_row_kernel,
 )
 from .request import TriangleCallback
 from .segments import concat_segments
@@ -505,17 +506,44 @@ def drive_columnar_push(
     rows_sorted = rows[order]
     qpos_sorted = qpositions[order]
     sizes_sorted = sizes[order]
+    # Candidate-stream chunking (out-of-core storage): cap the number of
+    # candidates any single batched delivery carries, so the owner-side
+    # handler's transient arrays stay within the configured memory budget
+    # while the spilled CSR columns page in from disk.  Chunks are cut at
+    # wedge boundaries in the same stable destination order, so per-dest
+    # FIFO delivery, every counter, and the virtual rpc/byte sums are
+    # identical to the single-call form (``chunk=None`` — resident storage
+    # — reproduces it exactly).
+    chunk = dodgr.chunk_candidates()
+    cand_cumsum = None
+    if chunk is not None:
+        cand_cumsum = _np.cumsum((row_end - 1 - qpositions)[order])
+        # The payload slices below stay enqueued until the barrier delivers
+        # them; staging the sorted columns in the snapshot's disk-backed
+        # scratch keeps that retained set out of process memory (the
+        # in-memory arrays die when this drive returns).
+        rows_sorted, qpos_sorted = stage_send_columns(csr, rows_sorted, qpos_sorted)
     for g, dest in enumerate(unique_dests.tolist()):
         lo, hi = bounds[g], bounds[g + 1]
-        ctx.async_call_batched(
-            dest,
-            handler,
-            csr,
-            rows_sorted[lo:hi],
-            qpos_sorted[lo:hi],
-            virtual_rpcs=hi - lo,
-            virtual_bytes=int(sizes_sorted[lo:hi].sum()),
-        )
+        start = lo
+        while start < hi:
+            if chunk is None:
+                stop = hi
+            else:
+                base = int(cand_cumsum[start - 1]) if start else 0
+                stop = int(_np.searchsorted(cand_cumsum, base + chunk, side="right"))
+                stop = max(stop, start + 1)  # an oversize wedge still ships
+                stop = min(stop, hi)
+            ctx.async_call_batched(
+                dest,
+                handler,
+                csr,
+                rows_sorted[start:stop],
+                qpos_sorted[start:stop],
+                virtual_rpcs=stop - start,
+                virtual_bytes=int(sizes_sorted[start:stop].sum()),
+            )
+            start = stop
 
 
 # ---------------------------------------------------------------------------
@@ -529,16 +557,24 @@ def make_push_intersect_handler(
     kernel: str,
     callback: Optional["TriangleCallback"],
     per_triangle_compute: int,
+    kernel_tier: Optional[str] = None,
 ):
-    """Build the push-phase intersect handler for an engine's ``push_style``."""
+    """Build the push-phase intersect handler for an engine's ``push_style``.
+
+    ``kernel_tier`` picks the batch/row kernel implementation tier
+    (``compiled``/``columnar``/``scalar``; ``None`` = best available) —
+    every tier is interchangeable under the equivalence contract, so this
+    only changes host speed.  The legacy style has a single (scalar)
+    implementation and ignores the tier.
+    """
     if style == "batched":
         return make_batched_intersect_handler(
-            dodgr, BATCH_KERNELS[kernel], callback, per_triangle_compute
+            dodgr, select_batch_kernel(kernel, kernel_tier), callback, per_triangle_compute
         )
     if style == "columnar":
         return make_columnar_intersect_handler(
             dodgr,
-            ROW_KERNELS[kernel],
+            select_row_kernel(kernel, kernel_tier),
             callback,
             resolve_batch_callback(callback),
             per_triangle_compute,

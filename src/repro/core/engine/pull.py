@@ -29,7 +29,11 @@ from typing import Any, Dict, List, Optional, Tuple
 from ...graph.dodgr import DODGraph, entry_key
 from ...graph.metadata import TriangleBatch, TriangleMetadata
 from ...runtime.serialization import uvarint_size
-from ..intersection import BATCH_KERNELS, INTERSECTION_KERNELS, ROW_KERNELS
+from ..intersection import (
+    INTERSECTION_KERNELS,
+    batch_kernel as select_batch_kernel,
+    row_kernel as select_row_kernel,
+)
 from .driver import (
     candidate_key,
     deliver_batch,
@@ -254,17 +258,22 @@ def make_pull_handler(
     callback: Optional["TriangleCallback"],
     per_triangle_compute: int,
     pivots_by_target,
+    kernel_tier: Optional[str] = None,
 ):
-    """Build the requester-side pull handler for an engine's ``pull_style``."""
+    """Build the requester-side pull handler for an engine's ``pull_style``.
+
+    ``kernel_tier`` selects the batch/row kernel implementation tier, as in
+    :func:`~repro.core.engine.driver.make_push_intersect_handler`.
+    """
     if style == "batched":
         return _make_batched_pull_handler(
-            dodgr, BATCH_KERNELS[kernel], callback, per_triangle_compute,
-            pivots_by_target,
+            dodgr, select_batch_kernel(kernel, kernel_tier), callback,
+            per_triangle_compute, pivots_by_target,
         )
     if style == "columnar":
         return _make_columnar_pull_handler(
             dodgr,
-            ROW_KERNELS[kernel],
+            select_row_kernel(kernel, kernel_tier),
             callback,
             resolve_batch_callback(callback),
             per_triangle_compute,

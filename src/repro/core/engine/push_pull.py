@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Set, Tuple
 from .driver import drive_push, make_push_intersect_handler
 from .program import SurveyProgram, execute_program
 from .pull import drive_pull, make_pull_handler
-from .registry import EngineSpec
+from .registry import EngineSpec, validate_request
 from .request import (
     DRY_RUN_PHASE,
     PULL_PHASE,
@@ -42,7 +42,10 @@ __all__ = ["build_push_pull_program", "run_push_pull_survey"]
 
 def build_push_pull_program(request: SurveyRequest, spec: EngineSpec) -> SurveyProgram:
     """Compile the Push-Pull survey to a three-phase :class:`SurveyProgram`."""
+    validate_request(request, spec)
     dodgr = request.dodgr
+    if request.storage is not None:
+        dodgr.configure_storage(request.storage)
     world = dodgr.world
     nranks = world.nranks
     callback = request.callback
@@ -91,7 +94,8 @@ def build_push_pull_program(request: SurveyRequest, spec: EngineSpec) -> SurveyP
     _h_advise = world.register_handler(_advise_push_handler)
     h_intersect = world.register_handler(
         make_push_intersect_handler(
-            spec.push_style, dodgr, request.kernel, callback, per_triangle_compute
+            spec.push_style, dodgr, request.kernel, callback, per_triangle_compute,
+            kernel_tier=request.kernel_tier,
         )
     )
     # Occupies the legacy pull handler's registration slot, so the id every
@@ -104,6 +108,7 @@ def build_push_pull_program(request: SurveyRequest, spec: EngineSpec) -> SurveyP
             callback,
             per_triangle_compute,
             pivots_by_target,
+            kernel_tier=request.kernel_tier,
         )
     )
     if batched_proposals:

@@ -52,6 +52,7 @@ __all__ = [
     "engine_names",
     "incremental_engine_names",
     "backend_names",
+    "validate_request",
 ]
 
 
@@ -74,6 +75,14 @@ class EngineSpec:
     requires_numpy: bool = False
     #: Engine to downgrade to when ``requires_numpy`` cannot be satisfied.
     fallback: Optional[str] = None
+    #: Kernel tiers this engine's drivers can run
+    #: (:data:`repro.core.intersection.KERNEL_TIERS` order).  Engines whose
+    #: intersections go through the batch/row kernel tables support every
+    #: tier; the legacy scalar driver only the scalar one.  Requesting a
+    #: declared-but-unavailable tier (no numba wheel) downgrades along
+    #: ``compiled -> columnar -> scalar``; requesting an *undeclared* tier
+    #: is a pre-run error (:func:`validate_request`).
+    kernel_tiers: Tuple[str, ...] = ("scalar",)
 
 
 #: Registration-ordered engine table.  Dicts preserve insertion order, which
@@ -231,6 +240,49 @@ def resolve_incremental_engine(engine: Any = None) -> EngineSpec:
     return spec
 
 
+def validate_request(request: Any, spec: EngineSpec) -> None:
+    """Reject unsupported execution-axis combinations before anything runs.
+
+    Called by every engine runner on the resolved ``(request, spec)`` pair;
+    raising here means no handlers were registered, no phases begun, no
+    segment files created.  Two axes are checked:
+
+    * ``kernel_tier`` — must name a known tier
+      (:data:`repro.core.intersection.KERNEL_TIERS`) that the engine
+      *declares* (``spec.kernel_tiers``).  Declared-but-unavailable tiers
+      (no numba wheel) are fine: they downgrade along the
+      ``compiled -> columnar -> scalar`` chain at kernel-lookup time.
+    * ``storage`` — must be a known mode (or a
+      :class:`~repro.graph.ooc.StorageConfig`); ``"mmap"`` is rejected on
+      the process backend until segments ship by path to the workers.
+    """
+    from ...graph.ooc import StorageConfig, resolve_storage
+    from ..intersection import KERNEL_TIERS
+
+    tier = getattr(request, "kernel_tier", None)
+    if tier is not None and tier != "auto":
+        if tier not in KERNEL_TIERS:
+            raise ValueError(
+                f"unknown kernel tier {tier!r}; known: {KERNEL_TIERS}"
+                f"{suggest_name(tier, KERNEL_TIERS)}"
+            )
+        if tier not in spec.kernel_tiers:
+            raise ValueError(
+                f"engine {spec.name!r} does not support kernel tier {tier!r}; "
+                f"declared tiers: {spec.kernel_tiers}"
+            )
+    storage = getattr(request, "storage", None)
+    mode = resolve_storage(
+        storage.mode if isinstance(storage, StorageConfig) else storage
+    )
+    if mode == "mmap" and resolve_backend(getattr(request, "backend", None)) == "process":
+        raise ValueError(
+            "storage='mmap' is not supported on backend='process': memmap "
+            "segment files are not yet shipped by path to worker processes; "
+            "run mmap surveys on the simulated backend"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Built-in engines.  Everything below is data: the drivers they compose live
 # in driver.py / pull.py / delta.py, and a new engine is a new composition.
@@ -262,6 +314,7 @@ register_engine(
         push_style="batched",
         pull_style="batched",
         proposal_style="batched",
+        kernel_tiers=("compiled", "columnar", "scalar"),
     )
 )
 
@@ -279,6 +332,7 @@ register_engine(
         incremental_style="columnar",
         requires_numpy=True,
         fallback="batched",
+        kernel_tiers=("compiled", "columnar", "scalar"),
     )
 )
 
@@ -297,5 +351,6 @@ register_engine(
         incremental_style="columnar",
         requires_numpy=True,
         fallback="batched",
+        kernel_tiers=("compiled", "columnar", "scalar"),
     )
 )

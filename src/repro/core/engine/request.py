@@ -34,6 +34,7 @@ __all__ = [
     "SurveyResult",
     "split_engine_selector",
     "split_backend_selector",
+    "split_execution_selector",
     "default_engine",
 ]
 
@@ -87,6 +88,17 @@ class EngineConfig:
         Worker-process count for the process backend; ``None`` keeps the
         entry point's ``workers=`` argument (default: capped at four, the
         host's core count and the rank count).
+    kernel_tier:
+        Intersection kernel tier (``"compiled"``, ``"columnar"``,
+        ``"scalar"`` or ``"auto"``; see
+        :data:`repro.core.intersection.KERNEL_TIERS`).  ``None``/``"auto"``
+        keeps the engine's best available tier; unavailable tiers downgrade
+        along the declared ``compiled -> columnar -> scalar`` chain.
+    storage:
+        CSR storage mode (``"resident"`` or ``"mmap"``), or a
+        :class:`repro.graph.ooc.StorageConfig` pinning a memory budget and
+        segment directory.  ``None`` keeps the entry point's ``storage=``
+        argument (default resident).
     """
 
     engine: Optional[str] = None
@@ -94,6 +106,8 @@ class EngineConfig:
     callback_compute_units: Optional[int] = None
     backend: Optional[str] = None
     workers: Optional[int] = None
+    kernel_tier: Optional[str] = None
+    storage: Optional[Any] = None
 
     @classmethod
     def coerce(cls, value: Any) -> "EngineConfig":
@@ -153,6 +167,24 @@ def split_backend_selector(
     return backend, workers
 
 
+def split_execution_selector(
+    engine: Any, kernel_tier: Optional[str], storage: Any
+) -> Tuple[Optional[str], Any]:
+    """Resolve ``kernel_tier=``/``storage=`` keywords against an engine selector.
+
+    Mirrors :func:`split_backend_selector` for the execution axes added by
+    the out-of-core work: when ``engine`` is an :class:`EngineConfig` its
+    *set* ``kernel_tier``/``storage`` fields win over the entry point's
+    loose keywords.
+    """
+    if isinstance(engine, EngineConfig):
+        if engine.kernel_tier is not None:
+            kernel_tier = engine.kernel_tier
+        if engine.storage is not None:
+            storage = engine.storage
+    return kernel_tier, storage
+
+
 def default_engine(engine: "EngineSelector", default: str) -> "EngineSelector":
     """Fill an unset engine name with a layer's documented default.
 
@@ -192,6 +224,11 @@ class SurveyRequest:
     backend: str = "simulated"
     #: Worker-process count for the process backend (``None`` = auto).
     workers: Optional[int] = None
+    #: Intersection kernel tier (``None``/``"auto"`` = best available).
+    kernel_tier: Optional[str] = None
+    #: CSR storage: ``None``/``"resident"``, ``"mmap"``, or a
+    #: :class:`repro.graph.ooc.StorageConfig`.
+    storage: Optional[Any] = None
 
     def per_triangle_compute(self) -> int:
         """Compute units charged per triangle (zero without a callback)."""

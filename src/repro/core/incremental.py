@@ -88,6 +88,7 @@ from ..graph.dodgr import DODGraph
 from .engine import (
     DEFAULT_CALLBACK_COMPUTE_UNITS,
     DELTA_PUSH_PHASE,
+    EngineConfig,
     TriangleCallback,
     incremental_engine_names,
     resolve_batch_callback,
@@ -103,7 +104,7 @@ from .engine.delta import (
     new_source_vertices,
 )
 from .engine.driver import legacy_push_payload_overhead
-from .intersection import INTERSECTION_KERNELS, ROW_KERNELS
+from .intersection import INTERSECTION_KERNELS, row_kernel as select_row_kernel
 from .results import SurveyReport
 
 __all__ = [
@@ -129,6 +130,7 @@ def incremental_triangle_survey(
     phase_name: str = DELTA_PUSH_PHASE,
     callback_compute_units: int = DEFAULT_CALLBACK_COMPUTE_UNITS,
     engine=None,
+    kernel_tier: Optional[str] = None,
 ) -> SurveyReport:
     """Survey exactly the triangles that contain at least one edge of ``delta``.
 
@@ -153,6 +155,10 @@ def incremental_triangle_survey(
         ``"columnar"`` (default when NumPy is available) — picks the
         implementation.  Both produce identical triangles, reducer
         deliveries and communication counters — see the module docstring.
+    kernel_tier:
+        Row-kernel implementation tier for the columnar style
+        (``"compiled"``/``"columnar"``/``"scalar"``; ``None``/``"auto"`` =
+        best available); the legacy style has only its scalar form.
 
     Remaining parameters match :func:`~repro.core.survey.triangle_survey_push`.
     Returns a :class:`~repro.core.results.SurveyReport` whose ``triangles``/
@@ -171,6 +177,8 @@ def incremental_triangle_survey(
             "process backend shards.  Run full surveys on backend='process' "
             "and delta batches on the default backend."
         )
+    if isinstance(engine, EngineConfig) and engine.kernel_tier is not None:
+        kernel_tier = engine.kernel_tier
     engine, kernel, callback_compute_units = split_engine_selector(
         engine, kernel, callback_compute_units
     )
@@ -182,7 +190,7 @@ def incremental_triangle_survey(
     # Handler registration order is fixed (full first, new second) in both
     # engines, so handler ids — and every accounted message size — match.
     if style == "columnar":
-        row_kernel = ROW_KERNELS[kernel]
+        row_kernel = select_row_kernel(kernel, kernel_tier)
         batch_callback = resolve_batch_callback(callback)
         h_full = world.register_handler(
             make_delta_columnar_handler(

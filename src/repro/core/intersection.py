@@ -32,7 +32,7 @@ unavailable) loops the scalar kernels per segment.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 try:  # NumPy accelerates the batch kernels but is optional.
     import numpy as _np
@@ -56,6 +56,14 @@ __all__ = [
     "hash_rows",
     "binary_search_rows",
     "ROW_KERNELS",
+    "KERNEL_TIERS",
+    "KERNEL_TIER_FALLBACK",
+    "ROW_KERNEL_TIERS",
+    "BATCH_KERNEL_TIERS",
+    "available_kernel_tiers",
+    "resolve_kernel_tier",
+    "row_kernel",
+    "batch_kernel",
 ]
 
 #: One match: (index into the candidate list, index into the adjacency list).
@@ -660,3 +668,117 @@ ROW_KERNELS = {
     "binary_search": binary_search_rows,
     "hash": hash_rows,
 }
+
+
+# ---------------------------------------------------------------------------
+# Kernel tiers
+# ---------------------------------------------------------------------------
+#
+# The batch/row kernels above are the *columnar* tier: NumPy array pipelines
+# with a scalar small-input escape hatch.  Two more tiers share their exact
+# contract (identical matches, identical aggregate comparison counts):
+#
+# * ``scalar``   — the reference loops (:func:`_batch_via_scalar` /
+#   :func:`_rows_via_scalar`) applied unconditionally; always available.
+# * ``compiled`` — numba-jitted merge loops (:mod:`.intersection_compiled`),
+#   registered only when numba imports; requesting it without numba follows
+#   the declared fallback chain ``compiled -> columnar -> scalar`` silently,
+#   the same way engines downgrade when NumPy is missing.
+#
+# Tier selection travels as ``kernel_tier`` on
+# :class:`~repro.core.engine.request.EngineConfig`/``SurveyRequest`` and is
+# resolved here, in one place, for every engine.
+
+#: Kernel tiers in preference order (fastest first).
+KERNEL_TIERS = ("compiled", "columnar", "scalar")
+
+#: Declared downgrade chain: the tier used when the requested one is
+#: unavailable (``None`` terminates the chain).
+KERNEL_TIER_FALLBACK = {"compiled": "columnar", "columnar": "scalar", "scalar": None}
+
+
+def _scalar_tier_batch(name: str):
+    scalar = INTERSECTION_KERNELS[name]
+
+    def batch_kernel_scalar(candidate_keys, offsets, adjacency_keys):
+        return _batch_via_scalar(scalar, candidate_keys, offsets, adjacency_keys)
+
+    batch_kernel_scalar.__name__ = f"{name}_batch_scalar"
+    return batch_kernel_scalar
+
+
+def _scalar_tier_rows(name: str):
+    scalar = INTERSECTION_KERNELS[name]
+
+    def row_kernel_scalar(candidate_keys, offsets, seg_rows, adjacency):
+        return _rows_via_scalar(scalar, candidate_keys, offsets, seg_rows, adjacency)
+
+    row_kernel_scalar.__name__ = f"{name}_rows_scalar"
+    return row_kernel_scalar
+
+
+#: Tier -> {kernel name -> batch kernel}.  The ``compiled`` entry is added at
+#: the bottom of this module when numba is importable.
+BATCH_KERNEL_TIERS = {
+    "columnar": BATCH_KERNELS,
+    "scalar": {name: _scalar_tier_batch(name) for name in INTERSECTION_KERNELS},
+}
+
+#: Tier -> {kernel name -> row kernel}; same shape as BATCH_KERNEL_TIERS.
+ROW_KERNEL_TIERS = {
+    "columnar": ROW_KERNELS,
+    "scalar": {name: _scalar_tier_rows(name) for name in INTERSECTION_KERNELS},
+}
+
+
+def available_kernel_tiers() -> Tuple[str, ...]:
+    """The tiers usable in this environment, in preference order.
+
+    ``columnar`` and ``scalar`` are always listed (the columnar kernels
+    degrade to the scalar loops internally when NumPy is missing);
+    ``compiled`` appears only when numba imported at module load.
+    """
+    return tuple(tier for tier in KERNEL_TIERS if tier in ROW_KERNEL_TIERS)
+
+
+def resolve_kernel_tier(tier: Optional[str] = None) -> str:
+    """Normalise a ``kernel_tier`` selector to an available tier name.
+
+    ``None`` (and ``"auto"``) select the columnar tier — today's default,
+    so existing callers see bit-identical behaviour.  A named tier must be
+    one of :data:`KERNEL_TIERS`; if it is not available here it downgrades
+    along :data:`KERNEL_TIER_FALLBACK` (results are identical either way —
+    the cross-tier property suite pins the contract).
+    """
+    if tier is None or tier == "auto":
+        return "columnar" if _np is not None else "scalar"
+    if tier not in KERNEL_TIERS:
+        raise ValueError(
+            f"unknown kernel tier {tier!r}; known: {KERNEL_TIERS}"
+        )
+    available = available_kernel_tiers()
+    while tier is not None and tier not in available:
+        tier = KERNEL_TIER_FALLBACK[tier]
+    return tier if tier is not None else "scalar"
+
+
+def batch_kernel(name: str, tier: Optional[str] = None):
+    """The batch-shaped kernel ``name`` at (resolved) ``tier``."""
+    return BATCH_KERNEL_TIERS[resolve_kernel_tier(tier)][name]
+
+
+def row_kernel(name: str, tier: Optional[str] = None):
+    """The row-batch kernel ``name`` at (resolved) ``tier``."""
+    return ROW_KERNEL_TIERS[resolve_kernel_tier(tier)][name]
+
+
+# Import last: intersection_compiled imports this module's result classes,
+# and registers its kernels into the tier tables only when numba is present.
+# (The compiled tier sits on top of NumPy arrays, so it is skipped entirely
+# when NumPy itself is unavailable.)
+if _np is not None:
+    from . import intersection_compiled as _compiled  # noqa: E402
+
+    if _compiled.NUMBA_AVAILABLE:  # pragma: no cover - requires a numba install
+        BATCH_KERNEL_TIERS["compiled"] = _compiled.COMPILED_BATCH_KERNELS
+        ROW_KERNEL_TIERS["compiled"] = _compiled.COMPILED_ROW_KERNELS

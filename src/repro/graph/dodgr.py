@@ -43,6 +43,7 @@ from ..runtime.world import RankContext, World
 from .columnar import group_slices
 from .degree import order_key, order_positions
 from .distributed_graph import DistributedGraph
+from .ooc import StorageConfig, release_csr_segments, resolve_storage, spill_csr
 from .partition import Partitioner
 
 try:  # NumPy backs the CSR arrays when available; plain lists otherwise.
@@ -109,6 +110,9 @@ class CSRAdjacency:
         "_columns",
         "row_adj_cache",
         "_delta_inv_index",
+        "storage",
+        "segment_paths",
+        "send_scratch",
     )
 
     def __init__(
@@ -185,6 +189,13 @@ class CSRAdjacency:
         self.row_adj_cache = None
         #: slot for the incremental engine's cached inverted target index
         self._delta_inv_index = None
+        #: storage mode of the column arrays ("resident" until spilled) and
+        #: the tracked memmap segment files backing them when out-of-core
+        self.storage = "resident"
+        self.segment_paths: List[str] = []
+        #: reusable disk-backed scratch for the columnar driver's staged
+        #: send columns under mmap storage (see ooc.stage_send_columns)
+        self.send_scratch = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -309,6 +320,8 @@ class DODGraph:
         self._order_ids: Optional[Dict[Hashable, int]] = None
         self._csr: Dict[int, CSRAdjacency] = {}
         self._rows_by_order_id = None
+        #: CSR storage policy; None means resident (today's default)
+        self._storage: Optional[StorageConfig] = None
 
     # ------------------------------------------------------------------
     @property
@@ -523,6 +536,8 @@ class DODGraph:
     # Derived flat views (batched engine backend)
     # ------------------------------------------------------------------
     def _invalidate_derived(self) -> None:
+        for snapshot in self._csr.values():
+            release_csr_segments(snapshot)
         self._order_ids = None
         self._csr.clear()
         self._rows_by_order_id = None
@@ -571,19 +586,74 @@ class DODGraph:
             self._rows_by_order_id = out
         return self._rows_by_order_id
 
+    # ------------------------------------------------------------------
+    # Storage policy (out-of-core CSR)
+    # ------------------------------------------------------------------
+    def configure_storage(self, storage) -> "StorageConfig":
+        """Set how CSR snapshots store their column arrays.
+
+        ``storage`` is a mode string (``"resident"``/``"mmap"``), a
+        :class:`~repro.graph.ooc.StorageConfig` (for a budget/directory), or
+        ``None`` to reset to resident.  Cached snapshots built under a
+        different mode are dropped (their segment files unlinked) so the next
+        :meth:`csr` call rebuilds them under the new policy.
+        """
+        if storage is None or isinstance(storage, str):
+            config = StorageConfig(mode=resolve_storage(storage))
+        elif isinstance(storage, StorageConfig):
+            config = storage.with_mode(storage.mode)
+        else:
+            raise TypeError(
+                f"storage must be a mode string or StorageConfig, got {storage!r}"
+            )
+        previous = self.storage_config()
+        self._storage = config
+        if previous.mode != config.mode and self._csr:
+            for snapshot in self._csr.values():
+                release_csr_segments(snapshot)
+            self._csr.clear()
+        return config
+
+    def storage_config(self) -> "StorageConfig":
+        """The active CSR storage policy (resident unless configured)."""
+        return self._storage if self._storage is not None else StorageConfig()
+
+    def chunk_candidates(self) -> Optional[int]:
+        """Candidate-stream chunk length the engine drivers should honour.
+
+        ``None`` (resident storage) means unchunked — one batch per
+        destination, today's exact behaviour.  Under mmap storage this bounds
+        the concatenated candidate arrays a driver or intersect handler
+        materializes at once, which is what keeps the survey's transient
+        working set under the configured budget while the spilled columns
+        page in from disk.
+        """
+        return self.storage_config().resolved_chunk_candidates()
+
     def csr(self, rank_or_ctx: int | RankContext) -> CSRAdjacency:
         """The rank's :class:`CSRAdjacency` snapshot (lazily built, cached).
 
         Exposes the same per-rank store as :meth:`local_store` as contiguous
         arrays for the batched engine; invalidated automatically if the
-        record view mutates (new edges offered, adjacency re-sorted).
+        record view mutates (new edges offered, adjacency re-sorted).  Under
+        an ``"mmap"`` storage policy (:meth:`configure_storage`) the
+        snapshot's column arrays are spilled to tracked memmap segment files
+        immediately after construction; :meth:`release` (and any derived-view
+        invalidation) unlinks them.
         """
         rank = rank_or_ctx.rank if isinstance(rank_or_ctx, RankContext) else rank_or_ctx
         snapshot = self._csr.get(rank)
+        config = self.storage_config()
+        if snapshot is not None and snapshot.storage != config.mode:
+            release_csr_segments(snapshot)
+            self._csr.pop(rank, None)
+            snapshot = None
         if snapshot is None:
             snapshot = CSRAdjacency(
                 self.local_store(rank), self.order_ids(), self.owner, self.partitioner
             )
+            if config.mode == "mmap":
+                spill_csr(snapshot, self.order_count(), config)
             self._csr[rank] = snapshot
         return snapshot
 

@@ -26,6 +26,7 @@ def test_required_documents_exist():
         "docs/benchmarks.md",
         "docs/sweeps.md",
         "docs/faults.md",
+        "docs/kernels.md",
     ):
         path = REPO_ROOT / name
         assert path.is_file() and path.stat().st_size > 0, name
@@ -99,6 +100,33 @@ def test_backend_axis_matches_readme_table():
         "README backend-selector table and the backend axis disagree; "
         "update the table in README.md (or BACKENDS in "
         "src/repro/core/engine/registry.py)"
+    )
+
+
+def test_kernel_tier_table_matches_registry():
+    """Mirror of tools/check_engines.py check 5: the README's kernel-tier
+    table and the tier registry agree."""
+    import check_engines
+
+    from repro.core.intersection import KERNEL_TIERS
+
+    documented = check_engines.documented_kernel_tiers(REPO_ROOT / "README.md")
+    assert documented == KERNEL_TIERS, (
+        "README kernel-tier table and KERNEL_TIERS disagree; update the "
+        "table in README.md (or KERNEL_TIERS in src/repro/core/intersection.py)"
+    )
+
+
+def test_storage_table_matches_registry():
+    """Mirror of tools/check_engines.py check 5 for the storage axis."""
+    import check_engines
+
+    from repro.graph.ooc import STORAGES
+
+    documented = check_engines.documented_storages(REPO_ROOT / "README.md")
+    assert documented == STORAGES, (
+        "README storage table and STORAGES disagree; update the table in "
+        "README.md (or STORAGES in src/repro/graph/ooc.py)"
     )
 
 
